@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchQuickFig2SinglePanel(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-attack", "random", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchQuickFig4(t *testing.T) {
+	if err := run([]string{"-exp", "fig4", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchQuickCommCost(t *testing.T) {
+	if err := run([]string{"-exp", "commcost", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchQuickTable2(t *testing.T) {
+	if err := run([]string{"-exp", "table2", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "fig2", "-attack", "noise", "-quick", "-csvdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2_noise.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestBenchPlotFlag(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-attack", "backward", "-quick", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestBenchRejectsUnknownAttack(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-attack", "nonsense", "-quick"}); err == nil {
+		t.Fatal("unknown attack must error")
+	}
+}

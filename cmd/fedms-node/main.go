@@ -1,0 +1,400 @@
+// Command fedms-node runs one node of a distributed Fed-MS deployment
+// over TCP: a parameter server, a client, or (for demos) the whole
+// federation in one process.
+//
+// All nodes must share the same -seed and federation flags so they
+// derive identical datasets, partitions, Byzantine identities and
+// randomness — there is no coordinator distributing configuration.
+//
+// Start P parameter servers:
+//
+//	fedms-node -role ps -id 0 -listen 127.0.0.1:7000 -clients 8 -servers 3 -byzantine 1 -attack noise
+//	fedms-node -role ps -id 1 -listen 127.0.0.1:7001 ...
+//	fedms-node -role ps -id 2 -listen 127.0.0.1:7002 ...
+//
+// Then K clients:
+//
+//	fedms-node -role client -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 ...
+//
+// Or run everything locally:
+//
+//	fedms-node -role local -clients 8 -servers 3 -byzantine 1 -attack noise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"fedms"
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/core"
+	"fedms/internal/nn"
+	"fedms/internal/node"
+)
+
+type options struct {
+	role   string
+	id     int
+	listen string
+	peers  string
+
+	clients    int
+	servers    int
+	byzantine  int
+	rounds     int
+	localSteps int
+	batch      int
+	beta       float64
+	attackName string
+	clientAtk  string
+	byzClients int
+	serverBeta float64
+	fullUpload bool
+	lr         float64
+	alpha      float64
+	samples    int
+	seed       uint64
+	key        string
+	timeout    time.Duration
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedms-node:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("fedms-node", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.role, "role", "local", "node role: ps|client|local")
+	fs.IntVar(&o.id, "id", 0, "node id (server index for ps, client index for client)")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "listen address (ps role)")
+	fs.StringVar(&o.peers, "peers", "", "comma-separated PS addresses in server-id order (client role)")
+	fs.IntVar(&o.clients, "clients", 8, "number of clients K")
+	fs.IntVar(&o.servers, "servers", 3, "number of parameter servers P")
+	fs.IntVar(&o.byzantine, "byzantine", 0, "number of Byzantine servers B")
+	fs.IntVar(&o.rounds, "rounds", 10, "training rounds T")
+	fs.IntVar(&o.localSteps, "steps", 3, "local SGD iterations per round E")
+	fs.IntVar(&o.batch, "batch", 32, "mini-batch size")
+	fs.Float64Var(&o.beta, "beta", 0, "trim rate (0 = B/P, negative = vanilla mean)")
+	fs.StringVar(&o.attackName, "attack", "none", "Byzantine server attack")
+	fs.StringVar(&o.clientAtk, "client-attack", "", "Byzantine client upload attack (upload_signflip|upload_noise|upload_random|upload_scaled)")
+	fs.IntVar(&o.byzClients, "byzantine-clients", 0, "number of Byzantine clients")
+	fs.Float64Var(&o.serverBeta, "server-beta", 0, "benign servers' trim rate over client uploads (0 = plain mean)")
+	fs.BoolVar(&o.fullUpload, "full-upload", false, "upload every client's model to every PS (required for robust server rules)")
+	fs.Float64Var(&o.lr, "lr", 0.1, "constant learning rate")
+	fs.Float64Var(&o.alpha, "alpha", 10, "Dirichlet D_alpha (<=0 for IID)")
+	fs.IntVar(&o.samples, "samples", 4000, "total dataset samples")
+	fs.Uint64Var(&o.seed, "seed", 1, "shared experiment seed")
+	fs.StringVar(&o.key, "key", "", "shared secret enabling per-frame HMAC authentication")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-frame network timeout")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	switch o.role {
+	case "ps":
+		return runPS(o)
+	case "client":
+		return runClientRole(o)
+	case "local":
+		return runLocal(o)
+	default:
+		return fmt.Errorf("unknown role %q", o.role)
+	}
+}
+
+// resolved returns the validated shared configuration (Byzantine
+// server and client identity sets) exactly as the in-process engine
+// derives them.
+func (o *options) resolved() (core.Config, error) {
+	cfg := core.Config{
+		Clients:             o.clients,
+		Servers:             o.servers,
+		NumByzantine:        o.byzantine,
+		NumByzantineClients: o.byzClients,
+		Rounds:              o.rounds,
+		LocalSteps:          o.localSteps,
+		Filter:              aggregate.Mean{},
+		Schedule:            nn.ConstantLR(o.lr),
+		Seed:                o.seed,
+	}
+	if o.byzClients > 0 {
+		ca, err := attack.ByUploadName(o.clientAtk)
+		if err != nil {
+			return cfg, fmt.Errorf("byzantine clients need -client-attack: %w", err)
+		}
+		cfg.ClientAttack = ca
+	}
+	return cfg.Validate()
+}
+
+// byzantineIDs resolves the shared Byzantine server identity set.
+func (o *options) byzantineIDs() ([]int, error) {
+	cfg, err := o.resolved()
+	if err != nil {
+		return nil, err
+	}
+	return cfg.ByzantineIDs, nil
+}
+
+// serverRule is the aggregation rule benign PSs apply to uploads.
+// authKey returns the configured HMAC key, or nil when disabled.
+func (o *options) authKey() []byte {
+	if o.key == "" {
+		return nil
+	}
+	return []byte(o.key)
+}
+
+func (o *options) serverRule() aggregate.Rule {
+	if o.serverBeta > 0 {
+		return aggregate.TrimmedMean{Beta: o.serverBeta}
+	}
+	return aggregate.Mean{}
+}
+
+// clientUploadAttack returns client id's upload attack, or nil if the
+// client is benign.
+func (o *options) clientUploadAttack(id int) (attack.UploadAttack, error) {
+	if o.byzClients == 0 {
+		return nil, nil
+	}
+	cfg, err := o.resolved()
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.IsByzantineClient(id) {
+		return nil, nil
+	}
+	return attack.ByUploadName(o.clientAtk)
+}
+
+func (o *options) filter() fedms.Rule {
+	if o.beta < 0 {
+		return aggregate.Mean{}
+	}
+	beta := o.beta
+	if beta == 0 {
+		beta = float64(o.byzantine) / float64(o.servers)
+	}
+	return aggregate.TrimmedMean{Beta: beta}
+}
+
+// learner builds client id's learner from the shared configuration.
+func (o *options) learner(id int) (core.Learner, error) {
+	eng, err := fedms.BuildEngine(fedms.Config{
+		Clients:      o.clients,
+		Servers:      o.servers,
+		NumByzantine: o.byzantine,
+		Rounds:       o.rounds,
+		LocalSteps:   o.localSteps,
+		BatchSize:    o.batch,
+		LearningRate: o.lr,
+		Dataset:      fedms.DatasetSpec{Samples: o.samples, Alpha: o.alpha, Noise: 2.0},
+		Seed:         o.seed,
+		EvalEvery:    -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Learners()[id], nil
+}
+
+func runPS(o *options) error {
+	byzIDs, err := o.byzantineIDs()
+	if err != nil {
+		return err
+	}
+	var atk attack.Attack
+	for _, b := range byzIDs {
+		if b == o.id {
+			if atk, err = attack.ByName(o.attackName); err != nil {
+				return err
+			}
+		}
+	}
+	ps, err := node.NewPS(node.PSConfig{
+		ID:         o.id,
+		ListenAddr: o.listen,
+		Clients:    o.clients,
+		Rounds:     o.rounds,
+		Attack:     atk,
+		ServerRule: o.serverRule(),
+		Seed:       o.seed,
+		Key:        o.authKey(),
+		Timeout:    o.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	role := "benign"
+	if atk != nil {
+		role = "BYZANTINE(" + atk.Name() + ")"
+	}
+	fmt.Printf("fedms-node: PS %d (%s) listening on %s\n", o.id, role, ps.Addr())
+	return ps.Serve()
+}
+
+func runClientRole(o *options) error {
+	if o.peers == "" {
+		return fmt.Errorf("client role requires -peers")
+	}
+	servers := strings.Split(o.peers, ",")
+	if len(servers) != o.servers {
+		return fmt.Errorf("-peers lists %d addresses, want P=%d", len(servers), o.servers)
+	}
+	learner, err := o.learner(o.id)
+	if err != nil {
+		return err
+	}
+	ua, err := o.clientUploadAttack(o.id)
+	if err != nil {
+		return err
+	}
+	stats, err := node.RunClient(node.ClientConfig{
+		ID:           o.id,
+		Learner:      learner,
+		Servers:      servers,
+		Rounds:       o.rounds,
+		LocalSteps:   o.localSteps,
+		UploadAttack: ua,
+		Filter:       o.filter(),
+		Schedule:     nn.ConstantLR(o.lr),
+		Seed:         o.seed,
+		Timeout:      o.timeout,
+		EvalEvery:    5,
+	})
+	if err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if st.Evaluated {
+			fmt.Printf("client %d round %d: train_loss=%.4f test_acc=%.4f\n",
+				o.id, st.Round, st.TrainLoss, st.TestAcc)
+		}
+	}
+	return nil
+}
+
+// runLocal runs the whole federation in one process over loopback TCP.
+func runLocal(o *options) error {
+	byzIDs, err := o.byzantineIDs()
+	if err != nil {
+		return err
+	}
+	byz := make(map[int]attack.Attack, len(byzIDs))
+	for _, id := range byzIDs {
+		a, err := attack.ByName(o.attackName)
+		if err != nil {
+			return err
+		}
+		byz[id] = a
+	}
+
+	servers := make([]*node.PS, o.servers)
+	addrs := make([]string, o.servers)
+	for i := range servers {
+		ps, err := node.NewPS(node.PSConfig{
+			ID:         i,
+			ListenAddr: "127.0.0.1:0",
+			Clients:    o.clients,
+			Rounds:     o.rounds,
+			Attack:     byz[i],
+			ServerRule: o.serverRule(),
+			Seed:       o.seed,
+			Key:        o.authKey(),
+			Timeout:    o.timeout,
+		})
+		if err != nil {
+			return err
+		}
+		servers[i] = ps
+		addrs[i] = ps.Addr()
+		role := "benign"
+		if byz[i] != nil {
+			role = "BYZANTINE(" + byz[i].Name() + ")"
+		}
+		fmt.Printf("fedms-node: PS %d (%s) on %s\n", i, role, ps.Addr())
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.servers+o.clients)
+	for _, ps := range servers {
+		wg.Add(1)
+		go func(ps *node.PS) {
+			defer wg.Done()
+			if err := ps.Serve(); err != nil {
+				errCh <- err
+			}
+		}(ps)
+	}
+
+	var mu sync.Mutex
+	var lastEval float64
+	for id := 0; id < o.clients; id++ {
+		learner, err := o.learner(id)
+		if err != nil {
+			return err
+		}
+		ua, err := o.clientUploadAttack(id)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(id int, l core.Learner, ua attack.UploadAttack) {
+			defer wg.Done()
+			stats, err := node.RunClient(node.ClientConfig{
+				ID:           id,
+				Learner:      l,
+				Servers:      addrs,
+				Rounds:       o.rounds,
+				LocalSteps:   o.localSteps,
+				FullUpload:   o.fullUpload,
+				UploadAttack: ua,
+				Filter:       o.filter(),
+				Schedule:     nn.ConstantLR(o.lr),
+				Seed:         o.seed,
+				Key:          o.authKey(),
+				Timeout:      o.timeout,
+				EvalEvery:    5,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if id == 0 {
+				for _, st := range stats {
+					if st.Evaluated {
+						fmt.Printf("round %d: client0 train_loss=%.4f test_acc=%.4f\n",
+							st.Round, st.TrainLoss, st.TestAcc)
+						mu.Lock()
+						lastEval = st.TestAcc
+						mu.Unlock()
+					}
+				}
+			}
+		}(id, learner, ua)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	fmt.Printf("fedms-node: distributed run complete, final client0 accuracy %.4f\n", lastEval)
+	return nil
+}

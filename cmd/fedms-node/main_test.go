@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestNodeLocalFederation(t *testing.T) {
+	err := run([]string{
+		"-role", "local", "-clients", "4", "-servers", "2",
+		"-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLocalByzantine(t *testing.T) {
+	err := run([]string{
+		"-role", "local", "-clients", "4", "-servers", "3", "-byzantine", "1",
+		"-attack", "noise", "-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLocalTwoSidedWithAuth(t *testing.T) {
+	err := run([]string{
+		"-role", "local", "-clients", "5", "-servers", "2",
+		"-byzantine-clients", "1", "-client-attack", "upload_signflip",
+		"-server-beta", "0.2", "-full-upload", "-key", "secret",
+		"-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeRejectsUnknownRole(t *testing.T) {
+	if err := run([]string{"-role", "nonsense"}); err == nil {
+		t.Fatal("unknown role must error")
+	}
+}
+
+func TestNodeClientRequiresPeers(t *testing.T) {
+	if err := run([]string{"-role", "client"}); err == nil {
+		t.Fatal("client without peers must error")
+	}
+}
+
+func TestNodeClientPeerCountMismatch(t *testing.T) {
+	if err := run([]string{"-role", "client", "-peers", "127.0.0.1:1", "-servers", "3"}); err == nil {
+		t.Fatal("peer/server count mismatch must error")
+	}
+}
+
+func TestNodeByzantineClientsRequireAttack(t *testing.T) {
+	err := run([]string{
+		"-role", "local", "-clients", "5", "-servers", "2",
+		"-byzantine-clients", "1", "-rounds", "1",
+	})
+	if err == nil {
+		t.Fatal("byzantine clients without -client-attack must error")
+	}
+}

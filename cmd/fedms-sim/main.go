@@ -1,0 +1,145 @@
+// Command fedms-sim runs one configurable Fed-MS simulation and prints
+// per-round metrics.
+//
+// Example (the paper's headline setting, scaled to this machine):
+//
+//	fedms-sim -clients 50 -servers 10 -byzantine 2 -rounds 60 \
+//	          -attack random -beta 0.2 -alpha 10
+//
+// Use -beta -1 for the vanilla-FL baseline (plain averaging, no
+// Byzantine defence).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedms"
+	"fedms/internal/attack"
+	"fedms/internal/checkpoint"
+	"fedms/internal/metrics"
+	"fedms/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedms-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedms-sim", flag.ContinueOnError)
+	var (
+		clients    = fs.Int("clients", 50, "number of clients K")
+		servers    = fs.Int("servers", 10, "number of parameter servers P")
+		byzantine  = fs.Int("byzantine", 2, "number of Byzantine servers B")
+		rounds     = fs.Int("rounds", 60, "training rounds T")
+		localSteps = fs.Int("steps", 3, "local SGD iterations per round E")
+		batch      = fs.Int("batch", 32, "mini-batch size")
+		beta       = fs.Float64("beta", 0, "trim rate (0 = B/P, negative = vanilla mean)")
+		attackName = fs.String("attack", "none", "attack: none|noise|random|safeguard|backward|signflip|zero|alie|ipm")
+		lr         = fs.Float64("lr", 0.1, "constant learning rate")
+		alpha      = fs.Float64("alpha", 10, "Dirichlet D_alpha (<=0 for IID split)")
+		dataset    = fs.String("dataset", "blobs", "dataset: blobs|synthimage|cifar10|mnist")
+		dataDir    = fs.String("data-dir", "", "data directory (cifar10 or mnist datasets)")
+		noise      = fs.Float64("noise", 0, "within-class noise level (0 = dataset default)")
+		model      = fs.String("model", "mlp", "model: logistic|mlp|smallcnn|mobilenetv2")
+		samples    = fs.Int("samples", 10000, "total dataset samples")
+		seed       = fs.Uint64("seed", 1, "experiment seed")
+		evalEvery  = fs.Int("eval", 5, "evaluate every N rounds")
+		upload     = fs.String("upload", "sparse", "upload strategy: sparse|full|round_robin")
+		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
+		asPlot     = fs.Bool("plot", false, "render the accuracy curve as an ASCII chart at the end")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	atk, err := attack.ByName(*attackName)
+	if err != nil {
+		return err
+	}
+	up := fedms.SparseUpload
+	switch *upload {
+	case "sparse":
+	case "full":
+		up = fedms.FullUpload
+	case "round_robin":
+		up = fedms.RoundRobinUpload
+	default:
+		return fmt.Errorf("unknown upload strategy %q", *upload)
+	}
+	cfg := fedms.Config{
+		Clients:      *clients,
+		Servers:      *servers,
+		NumByzantine: *byzantine,
+		Rounds:       *rounds,
+		LocalSteps:   *localSteps,
+		BatchSize:    *batch,
+		TrimBeta:     *beta,
+		Upload:       up,
+		Attack:       atk,
+		LearningRate: *lr,
+		Dataset: fedms.DatasetSpec{
+			Kind:    fedms.DatasetKind(*dataset),
+			Samples: *samples,
+			Alpha:   *alpha,
+			Noise:   *noise,
+			Dir:     *dataDir,
+		},
+		Model:     fedms.ModelSpec{Kind: fedms.ModelKind(*model)},
+		Seed:      *seed,
+		EvalEvery: *evalEvery,
+	}
+
+	eng, err := fedms.BuildEngine(cfg)
+	if err != nil {
+		return err
+	}
+	ecfg := eng.Config()
+	fmt.Printf("fed-ms: K=%d P=%d B=%d (byzantine ids %v) T=%d E=%d filter=%s attack=%s upload=%s dim=%d\n",
+		ecfg.Clients, ecfg.Servers, ecfg.NumByzantine, ecfg.ByzantineIDs,
+		ecfg.Rounds, ecfg.LocalSteps, ecfg.Filter.Name(), ecfg.Attack.Name(), ecfg.Upload, eng.Dim())
+
+	tbl := metrics.NewTable("")
+	accSeries := tbl.Add("test_acc")
+	fmt.Printf("%6s  %10s  %9s  %9s  %12s  %9s\n",
+		"round", "train_loss", "test_loss", "test_acc", "upload_flts", "spread")
+	for t := 0; t < ecfg.Rounds; t++ {
+		st := eng.RunRound()
+		if st.Evaluated {
+			accSeries.Append(st.Round, st.TestAcc)
+		}
+		if st.Evaluated {
+			fmt.Printf("%6d  %10.4f  %9.4f  %9.4f  %12d  %9.3f\n",
+				st.Round, st.TrainLoss, st.TestLoss, st.TestAcc, st.UploadFloats, st.ModelSpread)
+		} else {
+			fmt.Printf("%6d  %10.4f  %9s  %9s  %12d  %9.3f\n",
+				st.Round, st.TrainLoss, "-", "-", st.UploadFloats, st.ModelSpread)
+		}
+	}
+	loss, acc := eng.Evaluate()
+	fmt.Printf("final: test_loss=%.4f test_acc=%.4f\n", loss, acc)
+
+	if *asPlot && accSeries.Len() > 0 {
+		if err := plot.Render(os.Stdout, tbl, plot.Options{Width: 64, Height: 12, YMin: 0, YMax: 1}); err != nil {
+			return err
+		}
+	}
+
+	if *ckptPath != "" {
+		st := &checkpoint.State{
+			Round:  ecfg.Rounds,
+			Seed:   *seed,
+			Meta:   map[string]string{"model": *model, "dataset": *dataset, "attack": ecfg.Attack.Name(), "filter": ecfg.Filter.Name()},
+			Params: eng.MeanClientParams(),
+		}
+		if err := checkpoint.SaveFile(*ckptPath, st); err != nil {
+			return fmt.Errorf("save checkpoint: %w", err)
+		}
+		fmt.Printf("saved consensus model (%d params) to %s\n", len(st.Params), *ckptPath)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQuickSimulation(t *testing.T) {
+	err := run([]string{
+		"-clients", "6", "-servers", "3", "-byzantine", "1",
+		"-rounds", "3", "-eval", "3", "-samples", "900",
+		"-attack", "noise",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlotAndCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "m.ckpt")
+	err := run([]string{
+		"-clients", "4", "-servers", "3", "-byzantine", "0",
+		"-rounds", "2", "-eval", "1", "-samples", "600",
+		"-plot", "-ckpt", ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownAttack(t *testing.T) {
+	if err := run([]string{"-attack", "nonsense", "-rounds", "1"}); err == nil {
+		t.Fatal("unknown attack must error")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	// Byzantine majority.
+	if err := run([]string{"-servers", "4", "-byzantine", "2", "-rounds", "1"}); err == nil {
+		t.Fatal("Byzantine majority must error")
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nonsense", "-rounds", "1"}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestRunVanillaMode(t *testing.T) {
+	err := run([]string{
+		"-clients", "4", "-servers", "3", "-byzantine", "1",
+		"-rounds", "2", "-eval", "2", "-samples", "600",
+		"-attack", "random", "-beta", "-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

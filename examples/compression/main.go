@@ -1,0 +1,86 @@
+// Compression: shrinking what each client uploads.
+//
+// Fed-MS's sparse uploading reduces *how many* uploads cross the edge
+// network (K instead of K×P); the compress package reduces *how large*
+// each upload is. This example takes a real trained model from a
+// Fed-MS run and reports, for each compressor, the wire size and the
+// reconstruction error — then demonstrates why biased sparsifiers need
+// error feedback, using compressed-gradient descent on a toy problem.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedms"
+	"fedms/internal/compress"
+	"fedms/internal/tensor"
+)
+
+func main() {
+	// Train a small federation to get a realistic model vector.
+	res, err := fedms.Run(fedms.Config{
+		Clients:      10,
+		Servers:      5,
+		NumByzantine: 1,
+		Rounds:       15,
+		LocalSteps:   3,
+		TrimBeta:     0.2,
+		Attack:       fedms.NoiseAttack{},
+		LearningRate: 0.2,
+		Dataset:      fedms.DatasetSpec{Samples: 4000, Alpha: 10, Noise: 2.0},
+		Model:        fedms.ModelSpec{Kind: fedms.ModelMLP, Hidden: []int{64}},
+		Seed:         1,
+		EvalEvery:    -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := res.Engine.MeanClientParams()
+	raw := 8 * len(model)
+	norm := tensor.VecNorm2(model)
+	fmt.Printf("trained model: %d parameters, %d bytes raw, L2 norm %.2f\n\n", len(model), raw, norm)
+
+	compressors := []compress.Compressor{
+		compress.TopK{Ratio: 0.10},
+		compress.TopK{Ratio: 0.01},
+		compress.RandK{Ratio: 0.10, Seed: 7},
+		compress.Uniform{Bits: 8},
+		compress.Uniform{Bits: 4},
+	}
+	fmt.Printf("%-22s  %10s  %8s  %12s\n", "compressor", "bytes", "ratio", "rel. error")
+	for _, c := range compressors {
+		enc := c.Compress(model)
+		rec := enc.Dense()
+		errNorm := tensor.VecDist2(rec, model) / norm
+		fmt.Printf("%-22s  %10d  %7.1fx  %12.4f\n",
+			c.Name(), enc.WireBytes(), float64(raw)/float64(enc.WireBytes()), errNorm)
+	}
+
+	// Error feedback: why biased sparsifiers still converge over rounds.
+	fmt.Println("\ncompressed gradient descent on ½‖w−c‖² (TopK k=1 of 4 coords, 60 steps):")
+	c := []float64{10, 1, 0.1, 0.01}
+	for _, setup := range []struct {
+		name string
+		comp compress.Compressor
+	}{
+		{"plain TopK(1)", compress.TopK{K: 1}},
+		{"TopK(1) + error feedback", compress.NewErrorFeedback(compress.TopK{K: 1})},
+	} {
+		w := make([]float64, len(c))
+		for i := 0; i < 60; i++ {
+			grad := make([]float64, len(c))
+			for j := range grad {
+				grad[j] = w[j] - c[j]
+			}
+			update := setup.comp.Compress(grad).Dense()
+			tensor.VecAxpy(w, -0.5, update)
+		}
+		fmt.Printf("  %-26s final distance to optimum: %.3e\n", setup.name, tensor.VecDist2(w, c))
+	}
+	fmt.Println("\nReading: plain top-1 starves the small coordinates until the large ones")
+	fmt.Println("have fully converged; the residual accumulator flushes them much earlier,")
+	fmt.Println("converging orders of magnitude faster at any fixed budget.")
+}

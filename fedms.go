@@ -1,0 +1,528 @@
+// Package fedms is the public API of this Fed-MS implementation — a
+// reproduction of "Fed-MS: Fault Tolerant Federated Edge Learning with
+// Multiple Byzantine Servers" (ICDCS 2024).
+//
+// Fed-MS trains a model across K clients and P edge parameter servers
+// of which B < P/2 may be Byzantine. Clients upload sparsely (one
+// uniformly random PS per round), every PS broadcasts its aggregate,
+// and each client recovers a feasible global model with a
+// coordinate-wise trimmed mean (trim rate β = B/P).
+//
+// The package wires together the internal substrates (datasets,
+// models, aggregation rules, attacks, and the round engine) behind a
+// single Config/Run entry point:
+//
+//	res, err := fedms.Run(fedms.Config{
+//	    Clients: 50, Servers: 10, NumByzantine: 2,
+//	    Rounds: 60, LocalSteps: 3, TrimBeta: 0.2,
+//	    Attack: fedms.NoiseAttack{},
+//	    Dataset: fedms.DatasetSpec{Kind: fedms.DatasetBlobs, Samples: 10000, Alpha: 10},
+//	    Model:   fedms.ModelSpec{Kind: fedms.ModelMLP, Hidden: []int{64}},
+//	    Seed:    1,
+//	})
+//
+// Advanced callers can use BuildEngine to drive rounds manually, or the
+// node package's distributed runtime via the fedms-node command.
+package fedms
+
+import (
+	"fmt"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/core"
+	"fedms/internal/data"
+	"fedms/internal/metrics"
+	"fedms/internal/nn"
+	"fedms/internal/randx"
+)
+
+// Re-exported types: these aliases make the full vocabulary of the
+// library available to API users without reaching into internal
+// packages.
+type (
+	// Attack is a Byzantine parameter-server behaviour.
+	Attack = attack.Attack
+	// NoAttack leaves every PS honest.
+	NoAttack = attack.None
+	// NoiseAttack adds Gaussian noise to the honest aggregate.
+	NoiseAttack = attack.Noise
+	// RandomAttack replaces the aggregate with U[-10,10] values.
+	RandomAttack = attack.Random
+	// SafeguardAttack subtracts a scaled pseudo global gradient.
+	SafeguardAttack = attack.Safeguard
+	// BackwardAttack replays the aggregate from T rounds ago.
+	BackwardAttack = attack.Backward
+	// SignFlipAttack disseminates the negated aggregate.
+	SignFlipAttack = attack.SignFlip
+	// ZeroAttack disseminates an all-zeros model.
+	ZeroAttack = attack.Zero
+	// ALIEAttack is the "a little is enough" colluding attack.
+	ALIEAttack = attack.ALIE
+	// IPMAttack is the inner-product-manipulation colluding attack.
+	IPMAttack = attack.IPM
+
+	// UploadAttack is a Byzantine *client* behaviour (the two-sided
+	// threat model the paper lists as future work).
+	UploadAttack = attack.UploadAttack
+	// UploadSignFlip uploads the negated local model.
+	UploadSignFlip = attack.UploadSignFlip
+	// UploadNoise adds Gaussian noise to the upload.
+	UploadNoise = attack.UploadNoise
+	// UploadRandom replaces the upload with uniform random values.
+	UploadRandom = attack.UploadRandom
+	// UploadScaled amplifies the local update (model replacement).
+	UploadScaled = attack.UploadScaled
+
+	// Rule is a model filter / aggregation rule.
+	Rule = aggregate.Rule
+	// TrimmedMean is the Fed-MS client-side model filter.
+	TrimmedMean = aggregate.TrimmedMean
+	// MeanRule is vanilla averaging (no Byzantine tolerance).
+	MeanRule = aggregate.Mean
+	// MedianRule is the coordinate-wise median baseline.
+	MedianRule = aggregate.CoordinateMedian
+	// KrumRule is the Krum selection baseline.
+	KrumRule = aggregate.Krum
+	// GeoMedianRule is the Weiszfeld geometric-median baseline.
+	GeoMedianRule = aggregate.GeoMedian
+
+	// Engine is the synchronized Fed-MS round engine.
+	Engine = core.Engine
+	// EngineConfig is the low-level engine configuration.
+	EngineConfig = core.Config
+	// RoundStats reports one round's metrics.
+	RoundStats = core.RoundStats
+	// Learner is the trainable state a client holds.
+	Learner = core.Learner
+	// UploadStrategy selects sparse (Fed-MS) or full uploading.
+	UploadStrategy = core.UploadStrategy
+
+	// Schedule yields per-step learning rates.
+	Schedule = nn.Schedule
+	// Series is a recorded metric curve.
+	Series = metrics.Series
+	// Table is a collection of metric curves.
+	Table = metrics.Table
+)
+
+// Upload strategies.
+const (
+	// SparseUpload: each client uploads to one uniformly random PS.
+	SparseUpload = core.SparseUpload
+	// FullUpload: each client uploads to every PS.
+	FullUpload = core.FullUpload
+	// RoundRobinUpload: deterministic rotation with exactly balanced
+	// server loads (ablation of the random choice).
+	RoundRobinUpload = core.RoundRobinUpload
+)
+
+// DatasetKind selects the training dataset.
+type DatasetKind string
+
+// Supported datasets.
+const (
+	// DatasetBlobs is the 10-class Gaussian-mixture feature dataset
+	// (fast; used for the long federated sweeps).
+	DatasetBlobs DatasetKind = "blobs"
+	// DatasetSynthImage is the procedurally generated 10-class image
+	// dataset standing in for CIFAR-10.
+	DatasetSynthImage DatasetKind = "synthimage"
+	// DatasetCIFAR10 loads the real CIFAR-10 binary distribution from
+	// DatasetSpec.Dir — the paper's actual dataset, for environments
+	// that have it on disk.
+	DatasetCIFAR10 DatasetKind = "cifar10"
+	// DatasetMNIST loads an MNIST-layout IDX directory (MNIST or
+	// Fashion-MNIST, plain or gzipped) from DatasetSpec.Dir.
+	DatasetMNIST DatasetKind = "mnist"
+)
+
+// DatasetSpec configures the dataset and its partition across clients.
+type DatasetSpec struct {
+	Kind DatasetKind
+	// Samples is the total dataset size before the train/test split
+	// (default 10000).
+	Samples int
+	// NumClasses defaults to 10 (the CIFAR-10 class count).
+	NumClasses int
+	// Features applies to blobs (default 32).
+	Features int
+	// Resolution and Channels apply to synthimage (defaults 16, 3).
+	Resolution int
+	Channels   int
+	// Noise is the within-class noise level (dataset-specific default).
+	// Larger values lower the reachable ceiling accuracy, which is how
+	// the harness matches the paper's ~75% CIFAR-10 plateau.
+	Noise float64
+	// Spread is the class-center spread for blobs (default 1.0).
+	Spread float64
+	// Alpha is the Dirichlet heterogeneity parameter D_alpha; 0 or
+	// negative selects an IID split.
+	Alpha float64
+	// TrainFrac is the train split fraction (default 0.8).
+	TrainFrac float64
+	// Dir is the cifar-10-batches-bin directory (cifar10 only).
+	Dir string
+}
+
+// ModelKind selects the training model.
+type ModelKind string
+
+// Supported models.
+const (
+	// ModelLogistic is multinomial logistic regression (strongly
+	// convex; matches the convergence theory's assumptions).
+	ModelLogistic ModelKind = "logistic"
+	// ModelMLP is a ReLU multilayer perceptron.
+	ModelMLP ModelKind = "mlp"
+	// ModelSmallCNN is a compact conv-BN-ReLU classifier.
+	ModelSmallCNN ModelKind = "smallcnn"
+	// ModelMobileNetV2 is the paper's training model (width-scalable).
+	ModelMobileNetV2 ModelKind = "mobilenetv2"
+)
+
+// ModelSpec configures the model.
+type ModelSpec struct {
+	Kind ModelKind
+	// Hidden lists MLP hidden-layer widths (default [64]).
+	Hidden []int
+	// WidthMult scales MobileNetV2 channel widths (default 0.25 — the
+	// single-CPU-friendly setting; 1.0 is the paper-size network).
+	WidthMult float64
+}
+
+// Config is the high-level experiment configuration. Zero fields take
+// the paper's defaults where one exists.
+type Config struct {
+	// Clients (K), Servers (P), NumByzantine (B): the paper's headline
+	// setting is 50 / 10 / 2.
+	Clients      int
+	Servers      int
+	NumByzantine int
+	// ByzantineIDs optionally pins the Byzantine servers.
+	ByzantineIDs []int
+	// Rounds (T) and LocalSteps (E); the paper uses 60 and 3.
+	Rounds     int
+	LocalSteps int
+	// BatchSize for local SGD (default 32).
+	BatchSize int
+	// TrimBeta is the filter's trim rate β. Negative selects the
+	// vanilla mean filter (the paper's "Vanilla FL" baseline). Zero
+	// defaults to B/P (the Fed-MS rule).
+	TrimBeta float64
+	// Filter, when non-nil, overrides TrimBeta with an arbitrary rule
+	// (median, Krum, ...).
+	Filter Rule
+	// Upload defaults to SparseUpload.
+	Upload UploadStrategy
+	// Participation is the fraction of clients active per round in
+	// (0, 1]; zero means full participation.
+	Participation float64
+	// Attack is the Byzantine behaviour (default NoAttack).
+	Attack Attack
+	// NumByzantineClients and ClientAttack enable the two-sided threat
+	// model: that many clients upload tampered models. ServerFilter
+	// sets the benign parameter servers' aggregation rule (default
+	// plain mean, the paper's behaviour; use a robust rule to defend
+	// against Byzantine clients).
+	NumByzantineClients int
+	ByzantineClientIDs  []int
+	ClientAttack        UploadAttack
+	ServerFilter        Rule
+	// LearningRate is a constant LR (default 0.1); Schedule overrides.
+	LearningRate float64
+	Schedule     Schedule
+	// Momentum and WeightDecay configure the clients' local SGD.
+	Momentum    float64
+	WeightDecay float64
+	// ClipNorm, when positive, clips the global gradient norm of each
+	// local SGD step.
+	ClipNorm float64
+	// Augment enables pad-and-crop + horizontal-flip augmentation for
+	// image datasets (ignored for feature datasets).
+	Augment bool
+
+	Dataset DatasetSpec
+	Model   ModelSpec
+
+	// Seed is the root seed for the whole experiment.
+	Seed uint64
+	// EvalEvery and EvalClients control evaluation (see core.Config).
+	EvalEvery   int
+	EvalClients int
+	// Workers bounds parallel client training.
+	Workers int
+}
+
+// Result collects a finished run.
+type Result struct {
+	// Stats holds every round's metrics.
+	Stats []RoundStats
+	// Accuracy and TrainLoss are the recorded curves (accuracy only on
+	// evaluated rounds).
+	Accuracy  *Series
+	TrainLoss *Series
+	// Engine is the finished engine (client models are inspectable).
+	Engine *Engine
+}
+
+// FinalAccuracy returns the last evaluated test accuracy.
+func (r *Result) FinalAccuracy() float64 {
+	if r.Accuracy.Len() == 0 {
+		panic("fedms: run recorded no evaluations")
+	}
+	return r.Accuracy.Final()
+}
+
+// Run builds the experiment from cfg and executes all rounds.
+func Run(cfg Config) (*Result, error) {
+	eng, err := BuildEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Engine:    eng,
+		Accuracy:  &Series{Name: "accuracy"},
+		TrainLoss: &Series{Name: "train_loss"},
+	}
+	for t := 0; t < eng.Config().Rounds; t++ {
+		st := eng.RunRound()
+		res.Stats = append(res.Stats, st)
+		res.TrainLoss.Append(st.Round, st.TrainLoss)
+		if st.Evaluated {
+			res.Accuracy.Append(st.Round, st.TestAcc)
+		}
+	}
+	return res, nil
+}
+
+// BuildEngine constructs the engine (datasets, partitions, learners)
+// without running it.
+func BuildEngine(cfg Config) (*Engine, error) {
+	cfg = withDefaults(cfg)
+
+	train, test, err := buildDataset(cfg.Dataset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := buildPartition(train, cfg.Dataset, cfg.Clients, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	learners := make([]Learner, cfg.Clients)
+	for k := 0; k < cfg.Clients; k++ {
+		net, err := buildModel(cfg.Model, cfg.Dataset, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var aug *data.Augmenter
+		if cfg.Augment && cfg.Dataset.Kind != DatasetBlobs {
+			// Standard CIFAR-style augmentation, padding scaled to the
+			// input resolution.
+			pad := 4
+			if cfg.Dataset.Kind == DatasetSynthImage && cfg.Dataset.Resolution < 32 {
+				pad = cfg.Dataset.Resolution / 8
+			}
+			if pad < 1 {
+				pad = 1
+			}
+			aug = data.NewAugmenter(pad, 0.5, randx.Derive(cfg.Seed, fmt.Sprintf("augment/%d", k)))
+		}
+		learners[k] = core.NewNNLearner(core.NNLearnerConfig{
+			Net:         net,
+			Train:       train.Subset(parts[k]),
+			Test:        test,
+			BatchSize:   cfg.BatchSize,
+			Momentum:    cfg.Momentum,
+			WeightDecay: cfg.WeightDecay,
+			Augment:     aug,
+			ClipNorm:    cfg.ClipNorm,
+			Seed:        randx.Derive(cfg.Seed, fmt.Sprintf("client/%d", k)),
+		})
+	}
+
+	filter := cfg.Filter
+	if filter == nil {
+		if cfg.TrimBeta < 0 {
+			filter = MeanRule{}
+		} else {
+			beta := cfg.TrimBeta
+			if beta == 0 && cfg.Servers > 0 {
+				beta = float64(cfg.NumByzantine) / float64(cfg.Servers)
+			}
+			filter = TrimmedMean{Beta: beta}
+		}
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = nn.ConstantLR(cfg.LearningRate)
+	}
+
+	return core.NewEngine(core.Config{
+		Clients:             cfg.Clients,
+		Servers:             cfg.Servers,
+		NumByzantine:        cfg.NumByzantine,
+		ByzantineIDs:        cfg.ByzantineIDs,
+		NumByzantineClients: cfg.NumByzantineClients,
+		ByzantineClientIDs:  cfg.ByzantineClientIDs,
+		ClientAttack:        cfg.ClientAttack,
+		ServerFilter:        cfg.ServerFilter,
+		Rounds:              cfg.Rounds,
+		LocalSteps:          cfg.LocalSteps,
+		Upload:              cfg.Upload,
+		Participation:       cfg.Participation,
+		Attack:              cfg.Attack,
+		Filter:              filter,
+		Schedule:            sched,
+		Seed:                cfg.Seed,
+		EvalEvery:           cfg.EvalEvery,
+		EvalClients:         cfg.EvalClients,
+		Workers:             cfg.Workers,
+	}, learners)
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.Clients == 0 {
+		cfg.Clients = 50
+	}
+	if cfg.Servers == 0 {
+		cfg.Servers = 10
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 60
+	}
+	if cfg.LocalSteps == 0 {
+		cfg.LocalSteps = 3
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.Attack == nil {
+		cfg.Attack = NoAttack{}
+	}
+	if cfg.Dataset.Kind == "" {
+		cfg.Dataset.Kind = DatasetBlobs
+	}
+	if cfg.Dataset.Samples == 0 {
+		cfg.Dataset.Samples = 10000
+	}
+	if cfg.Dataset.NumClasses == 0 {
+		cfg.Dataset.NumClasses = 10
+	}
+	if cfg.Dataset.Features == 0 {
+		cfg.Dataset.Features = 32
+	}
+	if cfg.Dataset.Resolution == 0 {
+		cfg.Dataset.Resolution = 16
+	}
+	if cfg.Dataset.Channels == 0 {
+		cfg.Dataset.Channels = 3
+	}
+	if cfg.Dataset.TrainFrac == 0 {
+		cfg.Dataset.TrainFrac = 0.8
+	}
+	if cfg.Model.Kind == "" {
+		cfg.Model.Kind = ModelMLP
+	}
+	if len(cfg.Model.Hidden) == 0 {
+		cfg.Model.Hidden = []int{64}
+	}
+	if cfg.Model.WidthMult == 0 {
+		cfg.Model.WidthMult = 0.25
+	}
+	return cfg
+}
+
+func buildDataset(spec DatasetSpec, seed uint64) (train, test *data.Dataset, err error) {
+	var ds *data.Dataset
+	switch spec.Kind {
+	case DatasetCIFAR10:
+		// The binary distribution ships with its own train/test split.
+		return data.LoadCIFAR10(spec.Dir)
+	case DatasetMNIST:
+		return data.LoadMNIST(spec.Dir)
+	case DatasetBlobs:
+		ds = data.Blobs(data.BlobsConfig{
+			Samples:    spec.Samples,
+			NumClasses: spec.NumClasses,
+			Features:   spec.Features,
+			Noise:      spec.Noise,
+			Spread:     spec.Spread,
+			Seed:       randx.Derive(seed, "dataset"),
+		})
+	case DatasetSynthImage:
+		ds = data.SynthImage(data.SynthImageConfig{
+			Samples:    spec.Samples,
+			NumClasses: spec.NumClasses,
+			Channels:   spec.Channels,
+			Resolution: spec.Resolution,
+			Noise:      spec.Noise,
+			Seed:       randx.Derive(seed, "dataset"),
+		})
+	default:
+		return nil, nil, fmt.Errorf("fedms: unknown dataset kind %q", spec.Kind)
+	}
+	train, test = ds.Split(spec.TrainFrac)
+	return train, test, nil
+}
+
+func buildPartition(train *data.Dataset, spec DatasetSpec, clients int, seed uint64) (data.Partition, error) {
+	pseed := randx.Derive(seed, "partition")
+	if spec.Alpha > 0 {
+		return data.DirichletPartition(train.Y, train.NumClasses, clients, spec.Alpha, pseed), nil
+	}
+	return data.IIDPartition(train.Len(), clients, pseed), nil
+}
+
+func buildModel(spec ModelSpec, ds DatasetSpec, seed uint64) (*nn.Network, error) {
+	mseed := randx.Derive(seed, "model")
+	switch spec.Kind {
+	case ModelLogistic, ModelMLP:
+		in := ds.Features
+		switch ds.Kind {
+		case DatasetSynthImage:
+			in = ds.Channels * ds.Resolution * ds.Resolution
+		case DatasetCIFAR10:
+			in = 3 * 32 * 32
+		case DatasetMNIST:
+			in = 28 * 28
+		}
+		if spec.Kind == ModelLogistic {
+			return nn.NewLogistic(in, ds.NumClasses, mseed), nil
+		}
+		return nn.NewMLP(nn.MLPConfig{In: in, Hidden: spec.Hidden, NumClasses: ds.NumClasses, Seed: mseed}), nil
+	case ModelSmallCNN, ModelMobileNetV2:
+		channels, resolution := ds.Channels, ds.Resolution
+		classes := ds.NumClasses
+		switch ds.Kind {
+		case DatasetSynthImage:
+		case DatasetCIFAR10:
+			channels, resolution, classes = 3, 32, 10
+		case DatasetMNIST:
+			channels, resolution, classes = 1, 28, 10
+		default:
+			return nil, fmt.Errorf("fedms: %s requires an image dataset (synthimage, cifar10 or mnist)", spec.Kind)
+		}
+		if spec.Kind == ModelSmallCNN {
+			return nn.NewSmallCNN(nn.SmallCNNConfig{
+				NumClasses: classes,
+				InChannels: channels,
+				Resolution: resolution,
+				Seed:       mseed,
+			}), nil
+		}
+		return nn.NewMobileNetV2(nn.MobileNetV2Config{
+			NumClasses: classes,
+			InChannels: channels,
+			Resolution: resolution,
+			WidthMult:  spec.WidthMult,
+			Seed:       mseed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("fedms: unknown model kind %q", spec.Kind)
+	}
+}

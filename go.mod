@@ -1,0 +1,3 @@
+module fedms
+
+go 1.22

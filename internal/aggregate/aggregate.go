@@ -1,0 +1,265 @@
+// Package aggregate implements the robust aggregation rules of the
+// Fed-MS paper and the baselines it cites.
+//
+// Every rule is a pure function on a set of equal-length parameter
+// vectors. In Fed-MS the client-side model filter applies TrimmedMean to
+// the P global models received from the (partly Byzantine) parameter
+// servers; Mean is the vanilla-FL filter used as the paper's comparison
+// baseline; CoordinateMedian, Krum and GeoMedian are the classic
+// Byzantine-robust baselines from the related-work section.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"fedms/internal/tensor"
+)
+
+// Rule combines candidate parameter vectors into one.
+type Rule interface {
+	Name() string
+	// Aggregate returns a fresh vector; it must not retain or mutate
+	// the inputs. All inputs have equal length and there is at least
+	// one input.
+	Aggregate(vecs [][]float64) []float64
+}
+
+func checkInputs(vecs [][]float64, rule string) int {
+	if len(vecs) == 0 {
+		panic(fmt.Sprintf("aggregate: %s on empty input", rule))
+	}
+	d := len(vecs[0])
+	for i, v := range vecs {
+		if len(v) != d {
+			panic(fmt.Sprintf("aggregate: %s input %d has length %d, want %d", rule, i, len(v), d))
+		}
+	}
+	return d
+}
+
+// Mean is plain coordinate-wise averaging — the FedAvg / vanilla-FL
+// rule with no Byzantine tolerance.
+type Mean struct{}
+
+// Name implements Rule.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate implements Rule.
+func (Mean) Aggregate(vecs [][]float64) []float64 {
+	d := checkInputs(vecs, "mean")
+	out := make([]float64, d)
+	tensor.VecMean(out, vecs)
+	return out
+}
+
+// TrimmedMean is the Fed-MS model filter trmean_beta: per coordinate,
+// discard the floor(beta*P) largest and smallest values and average the
+// rest. With beta = B/P and B < P/2 the result provably stays within the
+// span of benign values (Lemma 2 of the paper).
+type TrimmedMean struct {
+	// Beta is the trim rate in [0, 0.5). The paper sets Beta = B/P
+	// (Fed-MS) and studies Beta below B/P as the weaker Fed-MS⁻.
+	Beta float64
+}
+
+// Name implements Rule.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed_mean(beta=%g)", t.Beta) }
+
+// TrimCount returns how many values are dropped from each side for n
+// inputs.
+func (t TrimmedMean) TrimCount(n int) int {
+	if t.Beta < 0 {
+		panic("aggregate: negative trim rate")
+	}
+	m := int(t.Beta * float64(n))
+	if 2*m >= n {
+		panic(fmt.Sprintf("aggregate: trim rate %g leaves no values for n=%d", t.Beta, n))
+	}
+	return m
+}
+
+// Aggregate implements Rule.
+func (t TrimmedMean) Aggregate(vecs [][]float64) []float64 {
+	d := checkInputs(vecs, "trimmed_mean")
+	n := len(vecs)
+	m := t.TrimCount(n)
+	out := make([]float64, d)
+	col := make([]float64, n)
+	keep := float64(n - 2*m)
+	for j := 0; j < d; j++ {
+		for i, v := range vecs {
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		s := 0.0
+		for i := m; i < n-m; i++ {
+			s += col[i]
+		}
+		out[j] = s / keep
+	}
+	return out
+}
+
+// CoordinateMedian takes the per-coordinate median (Yin et al., 2018).
+type CoordinateMedian struct{}
+
+// Name implements Rule.
+func (CoordinateMedian) Name() string { return "median" }
+
+// Aggregate implements Rule.
+func (CoordinateMedian) Aggregate(vecs [][]float64) []float64 {
+	d := checkInputs(vecs, "median")
+	n := len(vecs)
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, v := range vecs {
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		if n%2 == 1 {
+			out[j] = col[n/2]
+		} else {
+			out[j] = 0.5 * (col[n/2-1] + col[n/2])
+		}
+	}
+	return out
+}
+
+// Krum selects the single vector minimizing the sum of squared distances
+// to its n-f-2 nearest neighbours (Blanchard et al., NIPS 2017). F is
+// the assumed number of Byzantine inputs.
+type Krum struct {
+	F int
+}
+
+// Name implements Rule.
+func (k Krum) Name() string { return fmt.Sprintf("krum(f=%d)", k.F) }
+
+// Aggregate implements Rule.
+func (k Krum) Aggregate(vecs [][]float64) []float64 {
+	checkInputs(vecs, "krum")
+	i := k.Select(vecs)
+	out := make([]float64, len(vecs[i]))
+	copy(out, vecs[i])
+	return out
+}
+
+// Select returns the index of the Krum-chosen vector.
+func (k Krum) Select(vecs [][]float64) int {
+	n := len(vecs)
+	nb := n - k.F - 2
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > n-1 {
+		nb = n - 1
+	}
+	if n == 1 {
+		return 0
+	}
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := tensor.VecDist2(vecs[i], vecs[j])
+			d2[i][j] = dist * dist
+			d2[j][i] = d2[i][j]
+		}
+	}
+	best, bestScore := 0, 0.0
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, d2[i][j])
+			}
+		}
+		sort.Float64s(row)
+		score := 0.0
+		for _, v := range row[:nb] {
+			score += v
+		}
+		// Scores can genuinely tie (e.g. with nb = 1 the two mutually
+		// closest vectors share their min distance), so break ties by
+		// vector content — index-based tie-breaking would make the
+		// selection depend on input order.
+		if i == 0 || score < bestScore ||
+			(score == bestScore && lexLess(vecs[i], vecs[best])) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// lexLess orders vectors lexicographically — a permutation-invariant
+// tie-breaker for selection rules.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// GeoMedian approximates the geometric median with Weiszfeld's
+// iteration (the smoothed-median aggregation of Pillutla et al.).
+type GeoMedian struct {
+	// MaxIters bounds the Weiszfeld iterations (default 50).
+	MaxIters int
+	// Eps is the smoothing/convergence constant (default 1e-8).
+	Eps float64
+}
+
+// Name implements Rule.
+func (GeoMedian) Name() string { return "geo_median" }
+
+// Aggregate implements Rule.
+func (g GeoMedian) Aggregate(vecs [][]float64) []float64 {
+	d := checkInputs(vecs, "geo_median")
+	iters := g.MaxIters
+	if iters <= 0 {
+		iters = 50
+	}
+	eps := g.Eps
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	// Start from the coordinate-wise mean.
+	z := make([]float64, d)
+	tensor.VecMean(z, vecs)
+	next := make([]float64, d)
+	for it := 0; it < iters; it++ {
+		var wsum float64
+		for i := range next {
+			next[i] = 0
+		}
+		for _, v := range vecs {
+			dist := tensor.VecDist2(z, v)
+			w := 1 / (dist + eps)
+			wsum += w
+			tensor.VecAxpy(next, w, v)
+		}
+		tensor.VecScale(next, 1/wsum)
+		if tensor.VecDist2(z, next) < eps {
+			copy(z, next)
+			break
+		}
+		copy(z, next)
+	}
+	return z
+}
+
+var (
+	_ Rule = Mean{}
+	_ Rule = TrimmedMean{}
+	_ Rule = CoordinateMedian{}
+	_ Rule = Krum{}
+	_ Rule = GeoMedian{}
+)

@@ -1,0 +1,82 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"fedms/internal/tensor"
+)
+
+// CenteredClipping is the iterative clipping aggregator of Karimireddy
+// et al. (ICML 2021): starting from a robust anchor v, repeatedly move
+// by the average of the clipped residuals,
+//
+//	v ← v + (1/n) Σ_i clip(x_i − v, τ),
+//
+// where clip rescales a vector to norm at most τ. Large (Byzantine)
+// residuals contribute at most τ each, so the estimate stays near the
+// honest cluster while still averaging fine-grained information.
+type CenteredClipping struct {
+	// Tau is the clipping radius (default: median distance of the
+	// inputs to the anchor, re-estimated per call).
+	Tau float64
+	// Iters is the number of clipping iterations (default 3).
+	Iters int
+}
+
+// Name implements Rule.
+func (c CenteredClipping) Name() string {
+	if c.Tau > 0 {
+		return fmt.Sprintf("centered_clip(tau=%g)", c.Tau)
+	}
+	return "centered_clip(tau=auto)"
+}
+
+// Aggregate implements Rule.
+func (c CenteredClipping) Aggregate(vecs [][]float64) []float64 {
+	d := checkInputs(vecs, "centered_clip")
+	iters := c.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+	// Robust anchor: coordinate-wise median.
+	v := CoordinateMedian{}.Aggregate(vecs)
+
+	resid := make([]float64, d)
+	step := make([]float64, d)
+	for it := 0; it < iters; it++ {
+		tau := c.Tau
+		if tau <= 0 {
+			tau = medianDistance(vecs, v)
+			if tau == 0 {
+				// All inputs coincide with the anchor; done.
+				return v
+			}
+		}
+		for i := range step {
+			step[i] = 0
+		}
+		for _, x := range vecs {
+			copy(resid, x)
+			tensor.VecSub(resid, v)
+			norm := tensor.VecNorm2(resid)
+			scale := 1.0
+			if norm > tau {
+				scale = tau / norm
+			}
+			tensor.VecAxpy(step, scale/float64(len(vecs)), resid)
+		}
+		tensor.VecAdd(v, step)
+	}
+	return v
+}
+
+// medianDistance returns the median L2 distance from the vectors to v.
+func medianDistance(vecs [][]float64, v []float64) float64 {
+	dists := make([]float64, len(vecs))
+	for i, x := range vecs {
+		dists[i] = tensor.VecDist2(x, v)
+	}
+	return medianOf(dists)
+}
+
+var _ Rule = CenteredClipping{}

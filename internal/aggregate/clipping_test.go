@@ -1,0 +1,89 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+func TestCenteredClippingRobustToOutliers(t *testing.T) {
+	r := randx.New(1)
+	vecs := randomVecs(r, 8, 5)
+	poisoned := append(append([][]float64{}, vecs...),
+		[]float64{1e6, 1e6, 1e6, 1e6, 1e6},
+		[]float64{-1e6, -1e6, -1e6, -1e6, -1e6})
+	clean := Mean{}.Aggregate(vecs)
+	got := CenteredClipping{}.Aggregate(poisoned)
+	if d := tensor.VecDist2(got, clean); d > 3 {
+		t.Fatalf("centered clipping drifted %v from the honest mean", d)
+	}
+}
+
+func TestCenteredClippingFixedPoint(t *testing.T) {
+	v := []float64{1, -2, 3}
+	vecs := [][]float64{v, v, v, v, v}
+	got := CenteredClipping{}.Aggregate(vecs)
+	for i := range v {
+		if math.Abs(got[i]-v[i]) > 1e-9 {
+			t.Fatalf("fixed point violated: %v", got)
+		}
+	}
+}
+
+func TestCenteredClippingApproachesMeanWithLargeTau(t *testing.T) {
+	// With tau far larger than any residual, clipping is inactive and
+	// iterating from the median converges toward the mean.
+	r := randx.New(2)
+	vecs := randomVecs(r, 9, 4)
+	mean := Mean{}.Aggregate(vecs)
+	got := CenteredClipping{Tau: 1e9, Iters: 50}.Aggregate(vecs)
+	if d := tensor.VecDist2(got, mean); d > 1e-6 {
+		t.Fatalf("large-tau clipping should equal the mean, off by %v", d)
+	}
+}
+
+func TestCenteredClippingBoundedInfluence(t *testing.T) {
+	// One attacker at distance D contributes at most tau/n regardless
+	// of D — influence must not grow with outlier magnitude.
+	base := randomVecs(randx.New(3), 9, 3)
+	mk := func(scale float64) []float64 {
+		all := append(append([][]float64{}, base...), []float64{scale, 0, 0})
+		return CenteredClipping{Tau: 1, Iters: 3}.Aggregate(all)
+	}
+	a, b := mk(1e3), mk(1e12)
+	// The clipped contribution is tau·(x−v)/‖x−v‖, whose *direction*
+	// shifts by O(‖v‖/scale) with the outlier's position — so the two
+	// results agree up to that vanishing term, not bitwise.
+	if d := tensor.VecDist2(a, b); d > 1e-2 {
+		t.Fatalf("influence grew with outlier magnitude: %v vs %v (dist %v)", a, b, d)
+	}
+	// And a 1e12 outlier must not move the estimate more than tau/n
+	// per iteration from the outlier-free aggregate.
+	clean := CenteredClipping{Tau: 1, Iters: 3}.Aggregate(base)
+	if d := tensor.VecDist2(clean, b); d > 3.0/10+1e-9 {
+		t.Fatalf("outlier influence %v exceeds iters*tau/n", d)
+	}
+}
+
+func TestCenteredClippingEndToEnd(t *testing.T) {
+	// Usable as a Fed-MS client filter: same contract as other rules.
+	r := randx.New(4)
+	vecs := randomVecs(r, 6, 7)
+	orig := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		orig[i] = append([]float64(nil), v...)
+	}
+	out := CenteredClipping{}.Aggregate(vecs)
+	if len(out) != 7 {
+		t.Fatalf("dim = %d", len(out))
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			if vecs[i][j] != orig[i][j] {
+				t.Fatal("centered clipping mutated its input")
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedms/internal/randx"
+)
+
+// allRules enumerates every aggregation rule with representative
+// parameters, for uniform contract checks.
+func allRules() []Rule {
+	return []Rule{
+		Mean{},
+		TrimmedMean{Beta: 0.2},
+		CoordinateMedian{},
+		Krum{F: 2},
+		MultiKrum{F: 2},
+		Bulyan{F: 1},
+		GeoMedian{},
+		CenteredClipping{},
+	}
+}
+
+// TestAllRulesPermutationInvariant: no rule's output may depend on
+// input order — in Fed-MS the P models arrive in arbitrary network
+// order.
+func TestAllRulesPermutationInvariant(t *testing.T) {
+	for _, rule := range allRules() {
+		rule := rule
+		t.Run(rule.Name(), func(t *testing.T) {
+			err := quick.Check(func(seed uint64) bool {
+				r := randx.New(seed)
+				vecs := randomVecs(r, 9, 6)
+				a := rule.Aggregate(vecs)
+				perm := randx.Perm(r, len(vecs))
+				shuffled := make([][]float64, len(vecs))
+				for i, p := range perm {
+					shuffled[i] = vecs[p]
+				}
+				b := rule.Aggregate(shuffled)
+				for i := range a {
+					if math.Abs(a[i]-b[i]) > 1e-9 {
+						return false
+					}
+				}
+				return true
+			}, &quick.Config{MaxCount: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllRulesIdempotentOnConstants: identical inputs must return that
+// input for every rule.
+func TestAllRulesIdempotentOnConstants(t *testing.T) {
+	v := []float64{0.25, -1.5, 3}
+	vecs := make([][]float64, 9)
+	for i := range vecs {
+		vecs[i] = v
+	}
+	for _, rule := range allRules() {
+		got := rule.Aggregate(vecs)
+		for i := range v {
+			if math.Abs(got[i]-v[i]) > 1e-6 {
+				t.Fatalf("%s of constant inputs = %v", rule.Name(), got)
+			}
+		}
+	}
+}
+
+// TestAllRulesFreshOutput: the returned slice must not alias any input
+// (mutating it must not corrupt caller state).
+func TestAllRulesFreshOutput(t *testing.T) {
+	r := randx.New(5)
+	for _, rule := range allRules() {
+		vecs := randomVecs(r, 8, 4)
+		snapshot := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			snapshot[i] = append([]float64(nil), v...)
+		}
+		out := rule.Aggregate(vecs)
+		for i := range out {
+			out[i] = 1e30
+		}
+		for i := range vecs {
+			for j := range vecs[i] {
+				if vecs[i][j] != snapshot[i][j] {
+					t.Fatalf("%s output aliases input %d", rule.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+// TestAllRulesTranslationEquivariant: shifting every input by a
+// constant vector must shift the output by the same vector (all these
+// rules are location statistics).
+func TestAllRulesTranslationEquivariant(t *testing.T) {
+	r := randx.New(6)
+	shift := []float64{2, -3, 0.5, 10}
+	for _, rule := range allRules() {
+		vecs := randomVecs(r, 9, 4)
+		base := rule.Aggregate(vecs)
+		shifted := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			shifted[i] = append([]float64(nil), v...)
+			for j := range shift {
+				shifted[i][j] += shift[j]
+			}
+		}
+		got := rule.Aggregate(shifted)
+		for j := range shift {
+			if math.Abs(got[j]-(base[j]+shift[j])) > 1e-6 {
+				t.Fatalf("%s not translation equivariant at coord %d: %v vs %v",
+					rule.Name(), j, got[j], base[j]+shift[j])
+			}
+		}
+	}
+}
+
+// TestAllRulesScaleEquivariant: scaling every input by c scales the
+// output by c.
+func TestAllRulesScaleEquivariant(t *testing.T) {
+	r := randx.New(7)
+	const c = 3.5
+	for _, rule := range allRules() {
+		vecs := randomVecs(r, 9, 4)
+		base := rule.Aggregate(vecs)
+		scaled := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			scaled[i] = append([]float64(nil), v...)
+			for j := range scaled[i] {
+				scaled[i][j] *= c
+			}
+		}
+		got := rule.Aggregate(scaled)
+		for j := range base {
+			if math.Abs(got[j]-c*base[j]) > 1e-6*math.Max(1, math.Abs(c*base[j])) {
+				t.Fatalf("%s not scale equivariant at coord %d: %v vs %v",
+					rule.Name(), j, got[j], c*base[j])
+			}
+		}
+	}
+}
+
+// TestRobustRulesBounded: every rule except Mean keeps one unbounded
+// outlier's influence bounded.
+func TestRobustRulesBounded(t *testing.T) {
+	r := randx.New(8)
+	base := randomVecs(r, 9, 4)
+	for _, rule := range allRules() {
+		if _, isMean := rule.(Mean); isMean {
+			continue
+		}
+		clean := rule.Aggregate(base)
+		poisoned := append(append([][]float64{}, base...),
+			[]float64{1e12, -1e12, 1e12, -1e12})
+		got := rule.Aggregate(poisoned)
+		if d := dist(clean, got); d > 10 {
+			t.Fatalf("%s moved %v under a single unbounded outlier", rule.Name(), d)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fedms/internal/randx"
+)
+
+func collCtx(agg []float64, benign [][]float64, history [][]float64) *Context {
+	return &Context{
+		Round:      len(history),
+		TrueAgg:    agg,
+		History:    history,
+		BenignAggs: benign,
+		RNG:        randx.New(1),
+	}
+}
+
+func TestALIEShiftsByZStd(t *testing.T) {
+	// Benign aggregates with known mean 2 and std 1 per coordinate.
+	benign := [][]float64{{1}, {3}}
+	out := ALIE{Z: 2}.Tamper(collCtx([]float64{2}, benign, nil))
+	// mean 2, std 1 -> 2 - 2*1 = 0.
+	if math.Abs(out[0]-0) > 1e-12 {
+		t.Fatalf("ALIE = %v, want 0", out[0])
+	}
+}
+
+func TestALIEDefaultZ(t *testing.T) {
+	benign := [][]float64{{0}, {2}}
+	out := ALIE{}.Tamper(collCtx([]float64{1}, benign, nil))
+	// mean 1, std 1, z=1 -> 0.
+	if math.Abs(out[0]) > 1e-12 {
+		t.Fatalf("ALIE default = %v", out[0])
+	}
+}
+
+func TestALIEFallbackWithoutCollusion(t *testing.T) {
+	// With no BenignAggs the attacker only knows its own aggregate:
+	// std estimate is 0, so the output equals the aggregate.
+	out := ALIE{Z: 5}.Tamper(collCtx([]float64{3, -1}, nil, nil))
+	if out[0] != 3 || out[1] != -1 {
+		t.Fatalf("ALIE fallback = %v", out)
+	}
+}
+
+func TestALIEStaysWithinBenignSpread(t *testing.T) {
+	// The whole point of ALIE: with z <= 1 the tampered value lies
+	// within [min, max] of the benign values per coordinate, evading
+	// the trimmed-mean *magnitude* check while still biasing.
+	r := randx.New(7)
+	const p, d = 8, 32
+	benign := make([][]float64, p)
+	for i := range benign {
+		benign[i] = make([]float64, d)
+		randx.Normal(r, benign[i], 0, 1)
+	}
+	out := ALIE{Z: 0.5}.Tamper(collCtx(benign[0], benign, nil))
+	outside := 0
+	for j := 0; j < d; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range benign {
+			lo = math.Min(lo, v[j])
+			hi = math.Max(hi, v[j])
+		}
+		if out[j] < lo || out[j] > hi {
+			outside++
+		}
+	}
+	// A small z keeps nearly every coordinate inside the benign span.
+	if outside > d/10 {
+		t.Fatalf("ALIE left the benign span on %d/%d coordinates", outside, d)
+	}
+}
+
+func TestIPMReversesUpdate(t *testing.T) {
+	prev := []float64{1}
+	benign := [][]float64{{3}, {5}} // mean 4, update = 3
+	out := IPM{Epsilon: 1}.Tamper(collCtx([]float64{4}, benign, [][]float64{prev}))
+	// prev - 1*(4-1) = -2.
+	if math.Abs(out[0]-(-2)) > 1e-12 {
+		t.Fatalf("IPM = %v, want -2", out[0])
+	}
+}
+
+func TestIPMFirstRound(t *testing.T) {
+	benign := [][]float64{{2}, {4}}
+	out := IPM{Epsilon: 0.5}.Tamper(collCtx([]float64{3}, benign, nil))
+	// No history: -eps * mean = -1.5.
+	if math.Abs(out[0]-(-1.5)) > 1e-12 {
+		t.Fatalf("IPM first round = %v, want -1.5", out[0])
+	}
+}
+
+func TestIPMDefaultEpsilon(t *testing.T) {
+	if (IPM{}).eps() != 0.5 {
+		t.Fatal("default epsilon should be 0.5")
+	}
+}
+
+func TestColludingByName(t *testing.T) {
+	for _, name := range []string{"alie", "ipm"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestColludingDoNotMutate(t *testing.T) {
+	agg := []float64{1, 2}
+	benign := [][]float64{{0, 0}, {2, 4}}
+	hist := [][]float64{{0.5, 0.5}}
+	for _, a := range []Attack{ALIE{}, IPM{}} {
+		ctx := collCtx(append([]float64(nil), agg...),
+			[][]float64{append([]float64(nil), benign[0]...), append([]float64(nil), benign[1]...)},
+			[][]float64{append([]float64(nil), hist[0]...)})
+		a.Tamper(ctx)
+		if ctx.TrueAgg[0] != 1 || ctx.BenignAggs[1][1] != 4 || ctx.History[0][0] != 0.5 {
+			t.Fatalf("%s mutated context state", a.Name())
+		}
+	}
+}

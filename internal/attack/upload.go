@@ -1,0 +1,170 @@
+package attack
+
+import (
+	"fmt"
+
+	"fedms/internal/randx"
+)
+
+// This file implements *client-side* Byzantine behaviours — the
+// complementary threat the paper defers to future work ("Considering
+// the FEEL problem with both Byzantine PSs and clients will be our
+// future work", §VII). A Byzantine client trains normally but uploads
+// a tampered local model; benign parameter servers can counter with a
+// robust server-side aggregation rule (core.Config.ServerFilter).
+
+// UploadContext is the information available to a Byzantine client
+// when it crafts its upload.
+type UploadContext struct {
+	// Round is the current training round.
+	Round int
+	// Client is the Byzantine client's index.
+	Client int
+	// Params is the honestly trained local model w_{k,t,E}. Attacks
+	// must not mutate it.
+	Params []float64
+	// Global is the filtered global model the client started this
+	// round from. Attacks must not mutate it.
+	Global []float64
+	// RNG is a deterministic per-(client, round) stream.
+	RNG *randx.RNG
+}
+
+// UploadAttack produces a Byzantine client's tampered upload.
+type UploadAttack interface {
+	Name() string
+	// TamperUpload returns a freshly allocated tampered model.
+	TamperUpload(ctx *UploadContext) []float64
+}
+
+// UploadSignFlip uploads the negated, scaled local model: w̃ = −s·w.
+type UploadSignFlip struct {
+	// Scale multiplies the negated model (default 1).
+	Scale float64
+}
+
+// Name implements UploadAttack.
+func (a UploadSignFlip) Name() string { return fmt.Sprintf("upload_signflip(scale=%g)", a.scale()) }
+
+func (a UploadSignFlip) scale() float64 {
+	if a.Scale == 0 {
+		return 1
+	}
+	return a.Scale
+}
+
+// TamperUpload implements UploadAttack.
+func (a UploadSignFlip) TamperUpload(ctx *UploadContext) []float64 {
+	out := clone(ctx.Params)
+	s := -a.scale()
+	for i := range out {
+		out[i] *= s
+	}
+	return out
+}
+
+// UploadNoise adds Gaussian noise to the honest upload.
+type UploadNoise struct {
+	// Sigma is the noise standard deviation (default 1).
+	Sigma float64
+}
+
+// Name implements UploadAttack.
+func (a UploadNoise) Name() string { return fmt.Sprintf("upload_noise(sigma=%g)", a.sigma()) }
+
+func (a UploadNoise) sigma() float64 {
+	if a.Sigma == 0 {
+		return 1
+	}
+	return a.Sigma
+}
+
+// TamperUpload implements UploadAttack.
+func (a UploadNoise) TamperUpload(ctx *UploadContext) []float64 {
+	out := clone(ctx.Params)
+	s := a.sigma()
+	for i := range out {
+		out[i] += s * ctx.RNG.NormFloat64()
+	}
+	return out
+}
+
+// UploadRandom replaces the upload with uniform random values.
+type UploadRandom struct {
+	// Lo, Hi bound the uniform interval (defaults -10, 10).
+	Lo, Hi float64
+}
+
+// Name implements UploadAttack.
+func (a UploadRandom) Name() string {
+	lo, hi := a.bounds()
+	return fmt.Sprintf("upload_random(%g,%g)", lo, hi)
+}
+
+func (a UploadRandom) bounds() (float64, float64) {
+	if a.Lo == 0 && a.Hi == 0 {
+		return -10, 10
+	}
+	return a.Lo, a.Hi
+}
+
+// TamperUpload implements UploadAttack.
+func (a UploadRandom) TamperUpload(ctx *UploadContext) []float64 {
+	lo, hi := a.bounds()
+	out := make([]float64, len(ctx.Params))
+	randx.Uniform(ctx.RNG, out, lo, hi)
+	return out
+}
+
+// UploadScaled amplifies the local update: w̃ = g + F·(w − g) where g
+// is the round's starting global model — the classic model-replacement
+// / boosting attack used for backdoors (Bagdasaryan et al., 2020).
+type UploadScaled struct {
+	// Factor is the update amplification (default 10).
+	Factor float64
+}
+
+// Name implements UploadAttack.
+func (a UploadScaled) Name() string { return fmt.Sprintf("upload_scaled(factor=%g)", a.factor()) }
+
+func (a UploadScaled) factor() float64 {
+	if a.Factor == 0 {
+		return 10
+	}
+	return a.Factor
+}
+
+// TamperUpload implements UploadAttack.
+func (a UploadScaled) TamperUpload(ctx *UploadContext) []float64 {
+	out := make([]float64, len(ctx.Params))
+	f := a.factor()
+	for i := range out {
+		out[i] = ctx.Global[i] + f*(ctx.Params[i]-ctx.Global[i])
+	}
+	return out
+}
+
+// ByUploadName returns the client-side attack registered under the
+// given name with default parameters. Known names: upload_signflip,
+// upload_noise, upload_random, upload_scaled.
+func ByUploadName(name string) (UploadAttack, error) {
+	switch name {
+	case "upload_signflip":
+		return UploadSignFlip{}, nil
+	case "upload_noise":
+		return UploadNoise{}, nil
+	case "upload_random":
+		return UploadRandom{}, nil
+	case "upload_scaled":
+		return UploadScaled{}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown upload attack %q", name)
+	}
+}
+
+var (
+	_ UploadAttack = UploadSignFlip{}
+	_ UploadAttack = UploadNoise{}
+	_ UploadAttack = UploadRandom{}
+	_ UploadAttack = UploadScaled{}
+)

@@ -1,0 +1,194 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"fedms/internal/randx"
+)
+
+func sampleState() *State {
+	return &State{
+		Round: 42,
+		Seed:  7,
+		Meta:  map[string]string{"model": "mlp", "dataset": "blobs"},
+		Params: []float64{
+			1.5, -2.25, math.Pi, 0, math.SmallestNonzeroFloat64, math.MaxFloat64,
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleState()
+	if got.Round != want.Round || got.Seed != want.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Meta) != 2 || got.Meta["model"] != "mlp" || got.Meta["dataset"] != "blobs" {
+		t.Fatalf("meta mismatch: %v", got.Meta)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	err := quick.Check(func(round uint16, seed uint64, params []float64) bool {
+		if len(params) > 2000 {
+			return true
+		}
+		st := &State{Round: int(round), Seed: seed, Params: params}
+		var buf bytes.Buffer
+		if err := Save(&buf, st); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Round != int(round) || got.Seed != seed || len(got.Params) != len(params) {
+			return false
+		}
+		for i := range params {
+			if math.Float64bits(got.Params[i]) != math.Float64bits(params[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyState(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &State{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 0 || len(got.Params) != 0 || len(got.Meta) != 0 {
+		t.Fatalf("empty state round trip: %+v", got)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] = 'X'
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a bit in the middle of the parameter payload.
+	data[len(data)-12] ^= 0x10
+	_, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corruption must be detected")
+	}
+	if !errors.Is(err, ErrBadChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Fatal("truncated checkpoint must error")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	// Metadata maps have random iteration order; the encoding must
+	// still be byte-identical across saves.
+	var a, b bytes.Buffer
+	st := sampleState()
+	st.Meta["zzz"] = "1"
+	st.Meta["aaa"] = "2"
+	if err := Save(&a, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	st := sampleState()
+	st.Params = make([]float64, 1000)
+	randx.Normal(randx.New(1), st.Params, 0, 1)
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Params {
+		if got.Params[i] != st.Params[i] {
+			t.Fatal("file round trip mismatch")
+		}
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,35 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad asserts the checkpoint parser never panics on arbitrary
+// bytes and round-trips anything it accepts.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Save(&buf, &State{Round: 1, Seed: 2, Meta: map[string]string{"k": "v"}, Params: []float64{1, 2}})
+	f.Add(buf.Bytes())
+	f.Add([]byte("FMCK"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x41}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Save(&out, st); err != nil {
+			t.Fatalf("re-save of valid state failed: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("re-load failed: %v", err)
+		}
+		if again.Round != st.Round || again.Seed != st.Seed || len(again.Params) != len(st.Params) {
+			t.Fatal("save/load not idempotent")
+		}
+	})
+}

@@ -1,0 +1,385 @@
+// Package compress implements model-vector compression schemes that
+// complement Fed-MS's sparse uploading on the communication-efficiency
+// axis: top-k and random-k sparsification, uniform quantization, and an
+// error-feedback accumulator that makes biased compressors safe to use
+// across rounds.
+//
+// The paper's sparse upload reduces *how many* servers receive a model
+// (K uploads instead of K·P); these schemes reduce *how large* each
+// upload is. They compose: a client can compress the one model it
+// uploads.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fedms/internal/randx"
+)
+
+// Compressed is a compressed representation of a float64 vector.
+type Compressed interface {
+	// Dense reconstructs the (lossy) dense vector.
+	Dense() []float64
+	// WireBytes is the serialized size in bytes.
+	WireBytes() int
+	// Encode serializes the representation.
+	Encode() []byte
+}
+
+// Compressor maps dense vectors to compressed representations.
+type Compressor interface {
+	Name() string
+	Compress(v []float64) Compressed
+}
+
+// ---------------------------------------------------------------------------
+// Sparse representations (top-k, random-k)
+
+// Sparse is an index/value sparse vector.
+type Sparse struct {
+	Dim     int
+	Indices []uint32
+	Values  []float64
+}
+
+// Dense implements Compressed.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for i, idx := range s.Indices {
+		out[idx] = s.Values[i]
+	}
+	return out
+}
+
+// WireBytes implements Compressed: 8 bytes header + 4 per index + 8 per
+// value.
+func (s *Sparse) WireBytes() int { return 8 + len(s.Indices)*12 }
+
+// Encode implements Compressed.
+func (s *Sparse) Encode() []byte {
+	buf := make([]byte, 8+len(s.Indices)*12)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(s.Dim))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(s.Indices)))
+	off := 8
+	for _, idx := range s.Indices {
+		binary.LittleEndian.PutUint32(buf[off:], idx)
+		off += 4
+	}
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return buf
+}
+
+// DecodeSparse parses a Sparse encoding.
+func DecodeSparse(buf []byte) (*Sparse, error) {
+	if len(buf) < 8 {
+		return nil, errors.New("compress: sparse encoding too short")
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[0:]))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if len(buf) != 8+n*12 {
+		return nil, fmt.Errorf("compress: sparse encoding length %d, want %d", len(buf), 8+n*12)
+	}
+	s := &Sparse{Dim: dim, Indices: make([]uint32, n), Values: make([]float64, n)}
+	off := 8
+	for i := range s.Indices {
+		idx := binary.LittleEndian.Uint32(buf[off:])
+		if int(idx) >= dim {
+			return nil, fmt.Errorf("compress: index %d out of range %d", idx, dim)
+		}
+		s.Indices[i] = idx
+		off += 4
+	}
+	for i := range s.Values {
+		s.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return s, nil
+}
+
+// TopK keeps the k entries with the largest magnitude. It is the
+// classic biased sparsifier; combine with ErrorFeedback for
+// convergence across rounds.
+type TopK struct {
+	// K is the number of entries to keep; if zero, Ratio is used.
+	K int
+	// Ratio keeps ceil(Ratio*dim) entries (used when K == 0).
+	Ratio float64
+}
+
+// Name implements Compressor.
+func (t TopK) Name() string {
+	if t.K > 0 {
+		return fmt.Sprintf("topk(k=%d)", t.K)
+	}
+	return fmt.Sprintf("topk(ratio=%g)", t.Ratio)
+}
+
+func (t TopK) k(dim int) int {
+	k := t.K
+	if k == 0 {
+		k = int(math.Ceil(t.Ratio * float64(dim)))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	return k
+}
+
+// Compress implements Compressor.
+func (t TopK) Compress(v []float64) Compressed {
+	k := t.k(len(v))
+	order := make([]int, len(v))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return math.Abs(v[order[a]]) > math.Abs(v[order[b]])
+	})
+	picked := order[:k]
+	sort.Ints(picked)
+	s := &Sparse{Dim: len(v), Indices: make([]uint32, k), Values: make([]float64, k)}
+	for i, idx := range picked {
+		s.Indices[i] = uint32(idx)
+		s.Values[i] = v[idx]
+	}
+	return s
+}
+
+// RandK keeps k uniformly random entries scaled by dim/k, which makes
+// the compressor unbiased in expectation.
+type RandK struct {
+	// K is the number of entries to keep; if zero, Ratio is used.
+	K int
+	// Ratio keeps ceil(Ratio*dim) entries (used when K == 0).
+	Ratio float64
+	// Seed drives the index selection (vary per round for fresh
+	// sampling).
+	Seed uint64
+}
+
+// Name implements Compressor.
+func (r RandK) Name() string {
+	if r.K > 0 {
+		return fmt.Sprintf("randk(k=%d)", r.K)
+	}
+	return fmt.Sprintf("randk(ratio=%g)", r.Ratio)
+}
+
+// Compress implements Compressor.
+func (r RandK) Compress(v []float64) Compressed {
+	k := TopK{K: r.K, Ratio: r.Ratio}.k(len(v))
+	rng := randx.New(r.Seed)
+	perm := randx.Perm(rng, len(v))[:k]
+	sort.Ints(perm)
+	scale := float64(len(v)) / float64(k)
+	s := &Sparse{Dim: len(v), Indices: make([]uint32, k), Values: make([]float64, k)}
+	for i, idx := range perm {
+		s.Indices[i] = uint32(idx)
+		s.Values[i] = v[idx] * scale
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Uniform quantization
+
+// Quantized is a b-bit uniformly quantized vector.
+type Quantized struct {
+	Dim  int
+	Bits int
+	Min  float64
+	Max  float64
+	// Codes packs Dim codes of Bits bits each, little-endian within
+	// bytes.
+	Codes []byte
+}
+
+// Dense implements Compressed.
+func (q *Quantized) Dense() []float64 {
+	out := make([]float64, q.Dim)
+	levels := (uint64(1) << q.Bits) - 1
+	span := q.Max - q.Min
+	for i := 0; i < q.Dim; i++ {
+		code := q.code(i)
+		if levels == 0 || span == 0 {
+			out[i] = q.Min
+			continue
+		}
+		out[i] = q.Min + span*float64(code)/float64(levels)
+	}
+	return out
+}
+
+func (q *Quantized) code(i int) uint64 {
+	bitOff := i * q.Bits
+	var code uint64
+	for b := 0; b < q.Bits; b++ {
+		byteIdx := (bitOff + b) / 8
+		bitIdx := (bitOff + b) % 8
+		if q.Codes[byteIdx]&(1<<bitIdx) != 0 {
+			code |= 1 << b
+		}
+	}
+	return code
+}
+
+func (q *Quantized) setCode(i int, code uint64) {
+	bitOff := i * q.Bits
+	for b := 0; b < q.Bits; b++ {
+		byteIdx := (bitOff + b) / 8
+		bitIdx := (bitOff + b) % 8
+		if code&(1<<b) != 0 {
+			q.Codes[byteIdx] |= 1 << bitIdx
+		}
+	}
+}
+
+// WireBytes implements Compressed.
+func (q *Quantized) WireBytes() int { return 24 + len(q.Codes) }
+
+// Encode implements Compressed.
+func (q *Quantized) Encode() []byte {
+	buf := make([]byte, 24+len(q.Codes))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(q.Dim))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(q.Bits))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(q.Min))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(q.Max))
+	copy(buf[24:], q.Codes)
+	return buf
+}
+
+// DecodeQuantized parses a Quantized encoding.
+func DecodeQuantized(buf []byte) (*Quantized, error) {
+	if len(buf) < 24 {
+		return nil, errors.New("compress: quantized encoding too short")
+	}
+	q := &Quantized{
+		Dim:  int(binary.LittleEndian.Uint32(buf[0:])),
+		Bits: int(binary.LittleEndian.Uint32(buf[4:])),
+		Min:  math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		Max:  math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+	}
+	if q.Bits < 1 || q.Bits > 16 {
+		return nil, fmt.Errorf("compress: invalid bit width %d", q.Bits)
+	}
+	want := (q.Dim*q.Bits + 7) / 8
+	if len(buf) != 24+want {
+		return nil, fmt.Errorf("compress: quantized encoding length %d, want %d", len(buf), 24+want)
+	}
+	q.Codes = append([]byte(nil), buf[24:]...)
+	return q, nil
+}
+
+// Uniform quantizes each coordinate to Bits bits between the vector's
+// min and max.
+type Uniform struct {
+	// Bits per coordinate, in [1, 16] (default 8).
+	Bits int
+}
+
+// Name implements Compressor.
+func (u Uniform) Name() string { return fmt.Sprintf("quantize(bits=%d)", u.bits()) }
+
+func (u Uniform) bits() int {
+	if u.Bits == 0 {
+		return 8
+	}
+	return u.Bits
+}
+
+// Compress implements Compressor.
+func (u Uniform) Compress(v []float64) Compressed {
+	bits := u.bits()
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: invalid bit width %d", bits))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if len(v) == 0 {
+		lo, hi = 0, 0
+	}
+	q := &Quantized{
+		Dim:   len(v),
+		Bits:  bits,
+		Min:   lo,
+		Max:   hi,
+		Codes: make([]byte, (len(v)*bits+7)/8),
+	}
+	levels := float64((uint64(1) << bits) - 1)
+	span := hi - lo
+	for i, x := range v {
+		var code uint64
+		if span > 0 {
+			code = uint64(math.Round((x - lo) / span * levels))
+		}
+		q.setCode(i, code)
+	}
+	return q
+}
+
+// ---------------------------------------------------------------------------
+// Error feedback
+
+// ErrorFeedback wraps a (possibly biased) compressor with residual
+// accumulation: each round it compresses v + residual and keeps the
+// compression error for the next round, which restores convergence for
+// biased sparsifiers like TopK (Stich et al., 2018).
+type ErrorFeedback struct {
+	inner    Compressor
+	residual []float64
+}
+
+// NewErrorFeedback wraps inner.
+func NewErrorFeedback(inner Compressor) *ErrorFeedback {
+	return &ErrorFeedback{inner: inner}
+}
+
+// Name implements Compressor.
+func (e *ErrorFeedback) Name() string { return "ef(" + e.inner.Name() + ")" }
+
+// Compress implements Compressor.
+func (e *ErrorFeedback) Compress(v []float64) Compressed {
+	if e.residual == nil {
+		e.residual = make([]float64, len(v))
+	}
+	if len(e.residual) != len(v) {
+		panic("compress: ErrorFeedback dimension changed")
+	}
+	corrected := make([]float64, len(v))
+	for i := range v {
+		corrected[i] = v[i] + e.residual[i]
+	}
+	c := e.inner.Compress(corrected)
+	dense := c.Dense()
+	for i := range v {
+		e.residual[i] = corrected[i] - dense[i]
+	}
+	return c
+}
+
+// Residual returns the current accumulated error (read-only copy).
+func (e *ErrorFeedback) Residual() []float64 {
+	return append([]float64(nil), e.residual...)
+}
+
+var (
+	_ Compressor = TopK{}
+	_ Compressor = RandK{}
+	_ Compressor = Uniform{}
+	_ Compressor = (*ErrorFeedback)(nil)
+	_ Compressed = (*Sparse)(nil)
+	_ Compressed = (*Quantized)(nil)
+)

@@ -1,0 +1,266 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+func TestTopKKeepsLargestMagnitudes(t *testing.T) {
+	v := []float64{0.1, -5, 2, 0, 3, -0.5}
+	s := TopK{K: 3}.Compress(v).(*Sparse)
+	dense := s.Dense()
+	want := []float64{0, -5, 2, 0, 3, 0}
+	for i := range want {
+		if dense[i] != want[i] {
+			t.Fatalf("TopK dense = %v, want %v", dense, want)
+		}
+	}
+}
+
+func TestTopKRatio(t *testing.T) {
+	v := make([]float64, 100)
+	randx.Normal(randx.New(1), v, 0, 1)
+	s := TopK{Ratio: 0.1}.Compress(v).(*Sparse)
+	if len(s.Indices) != 10 {
+		t.Fatalf("kept %d entries, want 10", len(s.Indices))
+	}
+}
+
+func TestTopKClamps(t *testing.T) {
+	v := []float64{1, 2}
+	s := TopK{K: 100}.Compress(v).(*Sparse)
+	if len(s.Indices) != 2 {
+		t.Fatalf("kept %d entries", len(s.Indices))
+	}
+	s2 := TopK{Ratio: 0.0001}.Compress(v).(*Sparse)
+	if len(s2.Indices) != 1 {
+		t.Fatalf("kept %d entries, want at least 1", len(s2.Indices))
+	}
+}
+
+func TestTopKIsBestKTermApproximation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		v := make([]float64, 50)
+		randx.Normal(randx.New(seed), v, 0, 1)
+		dense := TopK{K: 10}.Compress(v).Dense()
+		// Residual magnitude of kept entries is 0; any dropped entry
+		// must be <= any kept entry in magnitude.
+		minKept := math.Inf(1)
+		maxDropped := 0.0
+		for i := range v {
+			if dense[i] != 0 {
+				minKept = math.Min(minKept, math.Abs(v[i]))
+			} else {
+				maxDropped = math.Max(maxDropped, math.Abs(v[i]))
+			}
+		}
+		return maxDropped <= minKept+1e-12
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandKUnbiased(t *testing.T) {
+	v := make([]float64, 64)
+	randx.Normal(randx.New(3), v, 0, 1)
+	acc := make([]float64, 64)
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		dense := RandK{K: 16, Seed: uint64(trial)}.Compress(v).Dense()
+		tensor.VecAdd(acc, dense)
+	}
+	tensor.VecScale(acc, 1.0/trials)
+	if d := tensor.VecDist2(acc, v); d > 0.35 {
+		t.Fatalf("RandK biased: E[C(v)] deviates from v by %v", d)
+	}
+}
+
+func TestRandKDeterministicPerSeed(t *testing.T) {
+	v := make([]float64, 32)
+	randx.Normal(randx.New(4), v, 0, 1)
+	a := RandK{K: 8, Seed: 5}.Compress(v).Encode()
+	b := RandK{K: 8, Seed: 5}.Compress(v).Encode()
+	if string(a) != string(b) {
+		t.Fatal("RandK with same seed must be deterministic")
+	}
+}
+
+func TestSparseEncodeDecodeRoundTrip(t *testing.T) {
+	v := make([]float64, 40)
+	randx.Normal(randx.New(6), v, 0, 1)
+	s := TopK{K: 7}.Compress(v).(*Sparse)
+	buf := s.Encode()
+	if len(buf) != s.WireBytes() {
+		t.Fatalf("WireBytes %d != encoded %d", s.WireBytes(), len(buf))
+	}
+	got, err := DecodeSparse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Dense(), got.Dense()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sparse round trip mismatch")
+		}
+	}
+}
+
+func TestDecodeSparseRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeSparse([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer must error")
+	}
+	s := TopK{K: 2}.Compress([]float64{1, 2, 3}).(*Sparse)
+	buf := s.Encode()
+	buf[8] = 200 // index out of range
+	if _, err := DecodeSparse(buf); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+	if _, err := DecodeSparse(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated buffer must error")
+	}
+}
+
+func TestUniformQuantizationErrorBound(t *testing.T) {
+	for _, bits := range []int{1, 2, 4, 8, 16} {
+		v := make([]float64, 200)
+		randx.Normal(randx.New(uint64(bits)), v, 0, 2)
+		q := Uniform{Bits: bits}.Compress(v).(*Quantized)
+		dense := q.Dense()
+		levels := float64((uint64(1) << bits) - 1)
+		maxErr := (q.Max - q.Min) / levels / 2
+		for i := range v {
+			if err := math.Abs(dense[i] - v[i]); err > maxErr+1e-9 {
+				t.Fatalf("bits=%d: error %v exceeds half-step %v", bits, err, maxErr)
+			}
+		}
+	}
+}
+
+func TestUniformQuantizationPreservesExtremes(t *testing.T) {
+	v := []float64{-3, 0, 7}
+	dense := Uniform{Bits: 8}.Compress(v).Dense()
+	if math.Abs(dense[0]-(-3)) > 1e-9 || math.Abs(dense[2]-7) > 1e-9 {
+		t.Fatalf("extremes not preserved: %v", dense)
+	}
+}
+
+func TestUniformConstantVector(t *testing.T) {
+	v := []float64{5, 5, 5}
+	dense := Uniform{Bits: 4}.Compress(v).Dense()
+	for _, x := range dense {
+		if x != 5 {
+			t.Fatalf("constant vector round trip: %v", dense)
+		}
+	}
+}
+
+func TestQuantizedEncodeDecodeRoundTrip(t *testing.T) {
+	v := make([]float64, 33) // odd length exercises bit packing
+	randx.Normal(randx.New(8), v, 0, 1)
+	q := Uniform{Bits: 5}.Compress(v).(*Quantized)
+	buf := q.Encode()
+	if len(buf) != q.WireBytes() {
+		t.Fatalf("WireBytes %d != encoded %d", q.WireBytes(), len(buf))
+	}
+	got, err := DecodeQuantized(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := q.Dense(), got.Dense()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("quantized round trip mismatch")
+		}
+	}
+}
+
+func TestDecodeQuantizedRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeQuantized([]byte{1}); err == nil {
+		t.Fatal("short buffer must error")
+	}
+	q := Uniform{Bits: 8}.Compress([]float64{1, 2}).(*Quantized)
+	buf := q.Encode()
+	buf[4] = 99 // invalid bit width
+	if _, err := DecodeQuantized(buf); err == nil {
+		t.Fatal("invalid bits must error")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	v := make([]float64, 10000)
+	randx.Normal(randx.New(9), v, 0, 1)
+	raw := 8 * len(v)
+
+	topk := TopK{Ratio: 0.01}.Compress(v)
+	if topk.WireBytes() > raw/50 {
+		t.Fatalf("top-1%% uses %d bytes of %d raw", topk.WireBytes(), raw)
+	}
+	q8 := Uniform{Bits: 8}.Compress(v)
+	if q8.WireBytes() > raw/7 {
+		t.Fatalf("8-bit quantization uses %d bytes of %d raw", q8.WireBytes(), raw)
+	}
+}
+
+// TestErrorFeedbackConvergesWhereTopKStalls is the canonical EF
+// property: plain TopK(k=1) on gradient descent leaves coordinates
+// permanently unserved, while error feedback eventually transmits
+// every accumulated residual.
+func TestErrorFeedbackConvergesWhereTopKStalls(t *testing.T) {
+	// Minimize f(w) = ½‖w − c‖² by compressed gradient steps.
+	c := []float64{10, 1, 0.1, 0.01}
+	step := func(compressor Compressor, iters int) []float64 {
+		w := make([]float64, len(c))
+		for i := 0; i < iters; i++ {
+			grad := make([]float64, len(c))
+			for j := range grad {
+				grad[j] = w[j] - c[j]
+			}
+			update := compressor.Compress(grad).Dense()
+			tensor.VecAxpy(w, -0.5, update)
+		}
+		return w
+	}
+	plain := step(TopK{K: 1}, 200)
+	ef := step(NewErrorFeedback(TopK{K: 1}), 200)
+
+	plainErr := tensor.VecDist2(plain, c)
+	efErr := tensor.VecDist2(ef, c)
+	if efErr > 0.05 {
+		t.Fatalf("error feedback did not converge: err %v", efErr)
+	}
+	if plainErr < 10*efErr {
+		t.Fatalf("plain TopK(1) should stall: plain %v vs ef %v", plainErr, efErr)
+	}
+}
+
+func TestErrorFeedbackResidualAccounting(t *testing.T) {
+	ef := NewErrorFeedback(TopK{K: 1})
+	v := []float64{3, 2}
+	dense := ef.Compress(v).Dense()
+	// Kept coordinate 0 (largest); residual = v - dense = [0, 2].
+	res := ef.Residual()
+	if dense[0] != 3 || res[0] != 0 || res[1] != 2 {
+		t.Fatalf("dense %v residual %v", dense, res)
+	}
+	// Next round, coordinate 1 has accumulated 2+2=4 > 3: it wins.
+	dense2 := ef.Compress(v).Dense()
+	if dense2[1] != 4 {
+		t.Fatalf("second round dense = %v, want residual flush", dense2)
+	}
+}
+
+func TestErrorFeedbackPanicsOnDimChange(t *testing.T) {
+	ef := NewErrorFeedback(TopK{K: 1})
+	ef.Compress([]float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ef.Compress([]float64{1, 2, 3})
+}

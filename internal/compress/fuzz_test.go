@@ -1,0 +1,38 @@
+package compress
+
+import "testing"
+
+// FuzzDecodeSparse asserts the sparse decoder never panics and its
+// accepted outputs reconstruct without index panics.
+func FuzzDecodeSparse(f *testing.F) {
+	f.Add(TopK{K: 2}.Compress([]float64{1, -2, 3}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSparse(data)
+		if err != nil {
+			return
+		}
+		dense := s.Dense()
+		if len(dense) != s.Dim {
+			t.Fatal("dense length mismatch")
+		}
+	})
+}
+
+// FuzzDecodeQuantized asserts the quantized decoder never panics.
+func FuzzDecodeQuantized(f *testing.F) {
+	f.Add(Uniform{Bits: 4}.Compress([]float64{0.5, -0.5, 2}).Encode())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuantized(data)
+		if err != nil {
+			return
+		}
+		if len(q.Dense()) != q.Dim {
+			t.Fatal("dense length mismatch")
+		}
+	})
+}

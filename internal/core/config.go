@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/nn"
+	"fedms/internal/randx"
+)
+
+// UploadStrategy selects how clients distribute their local models to
+// the parameter servers in the model-aggregation stage.
+type UploadStrategy int
+
+const (
+	// SparseUpload is Fed-MS's communication-efficient strategy: each
+	// client uploads to one uniformly random PS, costing K uploads per
+	// round (the same as single-PS FL).
+	SparseUpload UploadStrategy = iota + 1
+	// FullUpload sends every client's model to every PS, costing K×P
+	// uploads per round; the trivial baseline discussed in §IV-A.
+	FullUpload
+	// RoundRobinUpload deterministically rotates each client's target
+	// PS: client k uploads to (k + t) mod P in round t. Same K-upload
+	// cost as SparseUpload but with exactly balanced server loads,
+	// which removes the sampling-variance term of Lemma 3 — an
+	// ablation of the paper's "uniformly random" choice. (Not part of
+	// the paper; a deterministic schedule is also easier for an
+	// adaptive adversary to anticipate.)
+	RoundRobinUpload
+)
+
+// String implements fmt.Stringer.
+func (u UploadStrategy) String() string {
+	switch u {
+	case SparseUpload:
+		return "sparse"
+	case FullUpload:
+		return "full"
+	case RoundRobinUpload:
+		return "round_robin"
+	default:
+		return fmt.Sprintf("UploadStrategy(%d)", int(u))
+	}
+}
+
+// Config parameterizes one Fed-MS run. The zero value is not usable;
+// call Validate (or use the fedms root package, which fills defaults).
+type Config struct {
+	// Clients is K, the number of end devices.
+	Clients int
+	// Servers is P, the number of edge parameter servers.
+	Servers int
+	// NumByzantine is B. The Byzantine server identities are derived
+	// deterministically from Seed unless ByzantineIDs is set.
+	NumByzantine int
+	// ByzantineIDs optionally pins which servers are Byzantine.
+	ByzantineIDs []int
+	// Rounds is T, the number of global training rounds.
+	Rounds int
+	// LocalSteps is E, the number of local SGD iterations per round.
+	LocalSteps int
+	// Upload selects sparse (Fed-MS) or full uploading.
+	Upload UploadStrategy
+	// Participation is the fraction of clients active per round, in
+	// (0, 1]. Inactive clients neither train nor upload that round
+	// (they still receive and filter the disseminated models, so every
+	// client keeps a current global model — the partial-participation
+	// setting of Li et al. that the paper's analysis builds on).
+	// Zero means full participation.
+	Participation float64
+	// Attack is the Byzantine servers' behaviour.
+	Attack attack.Attack
+	// Filter is the client-side defence Def(·): TrimmedMean{B/P} for
+	// Fed-MS, Mean{} for vanilla FL.
+	Filter aggregate.Rule
+	// Schedule is the learning-rate schedule η_t.
+	Schedule nn.Schedule
+	// NumByzantineClients is the number of Byzantine *clients* — the
+	// two-sided threat model the paper defers to future work. The
+	// identities are derived from Seed unless ByzantineClientIDs is
+	// set. Byzantine clients train normally but upload tampered models
+	// via ClientAttack.
+	NumByzantineClients int
+	// ByzantineClientIDs optionally pins which clients are Byzantine.
+	ByzantineClientIDs []int
+	// ClientAttack is the Byzantine clients' upload behaviour
+	// (required when NumByzantineClients > 0).
+	ClientAttack attack.UploadAttack
+	// ServerFilter is the aggregation rule benign parameter servers
+	// apply to the uploads they receive. The paper's servers average
+	// (Mean, the default); a robust rule here defends against
+	// Byzantine clients.
+	ServerFilter aggregate.Rule
+	// Seed is the root seed; every random choice in the run derives
+	// from it.
+	Seed uint64
+	// EvalEvery evaluates test metrics every this many rounds
+	// (default 1). Set negative to disable evaluation.
+	EvalEvery int
+	// EvalClients is how many client models are averaged into the
+	// reported test accuracy (the paper averages all K = 50; the
+	// default 5 approximates that cheaply — models are near-identical
+	// after filtering). Clamped to K.
+	EvalClients int
+	// Workers bounds parallel client training (default GOMAXPROCS).
+	Workers int
+	// Logger, when non-nil, receives one structured record per round
+	// (round index, losses, accuracy, communication, spread) — wire it
+	// to log/slog for production observability.
+	Logger *slog.Logger
+}
+
+// Validate checks the configuration and returns a normalized copy with
+// defaults applied and Byzantine identities resolved.
+func (c Config) Validate() (Config, error) {
+	if c.Clients <= 0 {
+		return c, fmt.Errorf("core: Clients must be positive, got %d", c.Clients)
+	}
+	if c.Servers <= 0 {
+		return c, fmt.Errorf("core: Servers must be positive, got %d", c.Servers)
+	}
+	if c.Rounds <= 0 {
+		return c, fmt.Errorf("core: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.LocalSteps <= 0 {
+		return c, fmt.Errorf("core: LocalSteps must be positive, got %d", c.LocalSteps)
+	}
+	if c.Upload == 0 {
+		c.Upload = SparseUpload
+	}
+	if c.Upload != SparseUpload && c.Upload != FullUpload && c.Upload != RoundRobinUpload {
+		return c, fmt.Errorf("core: unknown upload strategy %d", c.Upload)
+	}
+	if c.Participation == 0 {
+		c.Participation = 1
+	}
+	if c.Participation <= 0 || c.Participation > 1 {
+		return c, fmt.Errorf("core: Participation must be in (0,1], got %v", c.Participation)
+	}
+	if int(c.Participation*float64(c.Clients)) < 1 {
+		return c, fmt.Errorf("core: Participation %v activates no clients of %d", c.Participation, c.Clients)
+	}
+	if c.Attack == nil {
+		c.Attack = attack.None{}
+	}
+	if c.Filter == nil {
+		return c, fmt.Errorf("core: Filter is required (TrimmedMean for Fed-MS, Mean for vanilla)")
+	}
+	if c.Schedule == nil {
+		return c, fmt.Errorf("core: Schedule is required")
+	}
+	if len(c.ByzantineIDs) > 0 {
+		c.NumByzantine = len(c.ByzantineIDs)
+		seen := make(map[int]bool, len(c.ByzantineIDs))
+		for _, id := range c.ByzantineIDs {
+			if id < 0 || id >= c.Servers {
+				return c, fmt.Errorf("core: Byzantine server id %d out of range [0,%d)", id, c.Servers)
+			}
+			if seen[id] {
+				return c, fmt.Errorf("core: duplicate Byzantine server id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if c.NumByzantine < 0 {
+		return c, fmt.Errorf("core: NumByzantine must be non-negative")
+	}
+	if 2*c.NumByzantine >= c.Servers && c.NumByzantine > 0 {
+		// The paper's feasibility condition: Byzantine PSs must be a
+		// strict minority or no filter can help.
+		return c, fmt.Errorf("core: B=%d Byzantine of P=%d servers violates B < P/2", c.NumByzantine, c.Servers)
+	}
+	if len(c.ByzantineIDs) == 0 && c.NumByzantine > 0 {
+		perm := randx.Perm(randx.Split(c.Seed, "byzantine-ids"), c.Servers)
+		c.ByzantineIDs = append([]int(nil), perm[:c.NumByzantine]...)
+		sort.Ints(c.ByzantineIDs)
+	}
+	if c.ServerFilter == nil {
+		c.ServerFilter = aggregate.Mean{}
+	}
+	if len(c.ByzantineClientIDs) > 0 {
+		c.NumByzantineClients = len(c.ByzantineClientIDs)
+		seen := make(map[int]bool, len(c.ByzantineClientIDs))
+		for _, id := range c.ByzantineClientIDs {
+			if id < 0 || id >= c.Clients {
+				return c, fmt.Errorf("core: Byzantine client id %d out of range [0,%d)", id, c.Clients)
+			}
+			if seen[id] {
+				return c, fmt.Errorf("core: duplicate Byzantine client id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if c.NumByzantineClients < 0 {
+		return c, fmt.Errorf("core: NumByzantineClients must be non-negative")
+	}
+	if 2*c.NumByzantineClients >= c.Clients && c.NumByzantineClients > 0 {
+		return c, fmt.Errorf("core: %d Byzantine of %d clients violates the minority condition", c.NumByzantineClients, c.Clients)
+	}
+	if c.NumByzantineClients > 0 && c.ClientAttack == nil {
+		return c, fmt.Errorf("core: NumByzantineClients > 0 requires ClientAttack")
+	}
+	if len(c.ByzantineClientIDs) == 0 && c.NumByzantineClients > 0 {
+		perm := randx.Perm(randx.Split(c.Seed, "byzantine-client-ids"), c.Clients)
+		c.ByzantineClientIDs = append([]int(nil), perm[:c.NumByzantineClients]...)
+		sort.Ints(c.ByzantineClientIDs)
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	if c.EvalClients <= 0 {
+		c.EvalClients = 5
+	}
+	if c.EvalClients > c.Clients {
+		c.EvalClients = c.Clients
+	}
+	return c, nil
+}
+
+// IsByzantine reports whether server id is Byzantine under the resolved
+// config.
+func (c Config) IsByzantine(id int) bool {
+	for _, b := range c.ByzantineIDs {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// IsByzantineClient reports whether client id is Byzantine under the
+// resolved config.
+func (c Config) IsByzantineClient(id int) bool {
+	for _, b := range c.ByzantineClientIDs {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fedms/internal/attack"
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+// RoundStats records one training round's outcome.
+type RoundStats struct {
+	// Round is the 0-based round index.
+	Round int
+	// TrainLoss is the mean local training loss across clients.
+	TrainLoss float64
+	// TestLoss and TestAcc are averaged over EvalClients client models;
+	// NaN-free only on evaluation rounds (Evaluated reports that).
+	TestLoss  float64
+	TestAcc   float64
+	Evaluated bool
+	// UploadFloats counts float64 values uploaded by clients this round
+	// (the paper's communication-cost measure: K·d sparse, K·P·d full).
+	UploadFloats int
+	// DownloadFloats counts float64 values disseminated to clients.
+	DownloadFloats int
+	// ModelSpread is the max L2 distance between any client's filtered
+	// model and the benign-server mean — a diagnostic of how far the
+	// filter let Byzantine influence leak.
+	ModelSpread float64
+	// Elapsed is the wall-clock time of the round.
+	Elapsed time.Duration
+}
+
+// Engine runs the synchronized Fed-MS protocol of Algorithm 1.
+type Engine struct {
+	cfg      Config
+	learners []Learner
+	dim      int
+
+	// history[i] holds server i's honest aggregates, one per completed
+	// round; Byzantine tampering never enters this history (it feeds
+	// the attack's adaptive knowledge instead).
+	history [][][]float64
+	// lastAgg[i] is server i's most recent aggregate, reused when the
+	// sparse upload assigns it no clients in a round.
+	lastAgg [][]float64
+
+	round int
+}
+
+// NewEngine validates cfg, aligns every learner to the same initial
+// model (the paper's w_0 shared initialization), and returns a ready
+// engine. learners must have length cfg.Clients.
+func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(learners) != cfg.Clients {
+		return nil, fmt.Errorf("core: %d learners for %d clients", len(learners), cfg.Clients)
+	}
+	dim := learners[0].NumParams()
+	for i, l := range learners {
+		if l.NumParams() != dim {
+			return nil, fmt.Errorf("core: learner %d has %d params, want %d", i, l.NumParams(), dim)
+		}
+	}
+	// Shared initialization w_0 taken from client 0.
+	w0 := learners[0].Params()
+	for _, l := range learners[1:] {
+		l.SetParams(w0)
+	}
+	lastAgg := make([][]float64, cfg.Servers)
+	for i := range lastAgg {
+		lastAgg[i] = append([]float64(nil), w0...)
+	}
+	return &Engine{
+		cfg:      cfg,
+		learners: learners,
+		dim:      dim,
+		history:  make([][][]float64, cfg.Servers),
+		lastAgg:  lastAgg,
+	}, nil
+}
+
+// Config returns the engine's validated configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Dim returns the flat model dimension d.
+func (e *Engine) Dim() int { return e.dim }
+
+// Learners returns the client learners (index = client id).
+func (e *Engine) Learners() []Learner { return e.learners }
+
+// Run executes cfg.Rounds rounds and returns their statistics.
+func (e *Engine) Run() []RoundStats {
+	stats := make([]RoundStats, 0, e.cfg.Rounds)
+	for t := 0; t < e.cfg.Rounds; t++ {
+		stats = append(stats, e.RunRound())
+	}
+	return stats
+}
+
+// RunRound executes one full round: local training, model aggregation
+// (with the configured upload strategy), Byzantine dissemination, and
+// the client-side model filter.
+func (e *Engine) RunRound() RoundStats {
+	t := e.round
+	start := time.Now()
+	st := RoundStats{Round: t}
+
+	// Byzantine clients' upload attacks may reference the model the
+	// round started from; snapshot it before training.
+	var startParams map[int][]float64
+	if e.cfg.NumByzantineClients > 0 {
+		startParams = make(map[int][]float64, e.cfg.NumByzantineClients)
+		for _, k := range e.cfg.ByzantineClientIDs {
+			startParams[k] = e.learners[k].Params()
+		}
+	}
+
+	// ---- Local training stage (Algorithm 1, lines 8-10) ----
+	active := e.activeClients(t)
+	losses := e.trainClients(t, active)
+	for _, l := range losses {
+		st.TrainLoss += l
+	}
+	st.TrainLoss /= float64(len(losses))
+
+	// Snapshot the uploaded local models w_{k,t,E} of active clients.
+	uploads := make([][]float64, e.cfg.Clients)
+	for _, k := range active {
+		uploads[k] = e.learners[k].Params()
+	}
+
+	// Byzantine clients replace their honest upload with a tampered
+	// one (their local training state is untouched — what they *send*
+	// is the lie).
+	for _, k := range e.cfg.ByzantineClientIDs {
+		if uploads[k] == nil {
+			continue // inactive this round
+		}
+		ctx := &attack.UploadContext{
+			Round:  t,
+			Client: k,
+			Params: uploads[k],
+			Global: startParams[k],
+			RNG:    UploadAttackRNG(e.cfg.Seed, t, k),
+		}
+		uploads[k] = e.cfg.ClientAttack.TamperUpload(ctx)
+	}
+
+	// ---- Model aggregation stage (lines 3-4, 11) ----
+	assign := e.uploadAssignment(t, active)
+	aggs := make([][]float64, e.cfg.Servers)
+	for i := 0; i < e.cfg.Servers; i++ {
+		members := assign[i]
+		if len(members) == 0 {
+			// No uploads this round: the PS re-disseminates its last
+			// aggregate (it has nothing newer). With K >> P this is
+			// rare under sparse upload.
+			aggs[i] = append([]float64(nil), e.lastAgg[i]...)
+		} else {
+			vecs := make([][]float64, 0, len(members))
+			for _, k := range members {
+				vecs = append(vecs, uploads[k])
+			}
+			aggs[i] = e.cfg.ServerFilter.Aggregate(vecs)
+		}
+		e.lastAgg[i] = aggs[i]
+		st.UploadFloats += len(members) * e.dim
+	}
+
+	// ---- Model dissemination + filter stage (lines 5, 12-13) ----
+	st.DownloadFloats = e.cfg.Servers * e.cfg.Clients * e.dim
+	disseminated := e.disseminate(t, aggs)
+	benignMean := e.benignMean(aggs)
+
+	for k := 0; k < e.cfg.Clients; k++ {
+		received := disseminated(k)
+		filtered := e.cfg.Filter.Aggregate(received)
+		e.learners[k].SetParams(filtered)
+		if d := tensor.VecDist2(filtered, benignMean); d > st.ModelSpread {
+			st.ModelSpread = d
+		}
+	}
+
+	// Append honest aggregates to the adaptive-adversary history.
+	for i := 0; i < e.cfg.Servers; i++ {
+		e.history[i] = append(e.history[i], aggs[i])
+	}
+
+	// ---- Evaluation ----
+	if e.cfg.EvalEvery > 0 && (t%e.cfg.EvalEvery == e.cfg.EvalEvery-1 || t == e.cfg.Rounds-1) {
+		st.TestLoss, st.TestAcc = e.Evaluate()
+		st.Evaluated = true
+	}
+
+	st.Elapsed = time.Since(start)
+	if e.cfg.Logger != nil {
+		attrs := []any{
+			"round", st.Round,
+			"train_loss", st.TrainLoss,
+			"upload_floats", st.UploadFloats,
+			"model_spread", st.ModelSpread,
+			"elapsed", st.Elapsed,
+		}
+		if st.Evaluated {
+			attrs = append(attrs, "test_loss", st.TestLoss, "test_acc", st.TestAcc)
+		}
+		e.cfg.Logger.Info("fedms round", attrs...)
+	}
+	e.round++
+	return st
+}
+
+// activeClients returns the sorted ids of clients participating in
+// round t (all of them under full participation).
+func (e *Engine) activeClients(t int) []int {
+	k := e.cfg.Clients
+	if e.cfg.Participation >= 1 {
+		all := make([]int, k)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	m := int(e.cfg.Participation * float64(k))
+	perm := randx.Perm(randx.Split(e.cfg.Seed, fmt.Sprintf("participation/r%d", t)), k)
+	active := append([]int(nil), perm[:m]...)
+	sort.Ints(active)
+	return active
+}
+
+// trainClients runs local training for the active clients, bounded by
+// cfg.Workers, and returns their average losses (index-aligned with
+// active).
+func (e *Engine) trainClients(t int, active []int) []float64 {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	losses := make([]float64, len(active))
+	globalStep := t * e.cfg.LocalSteps
+	if workers == 1 {
+		for i, k := range active {
+			losses[i] = e.learners[k].LocalTrain(e.cfg.LocalSteps, globalStep, e.cfg.Schedule)
+		}
+		return losses
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				losses[i] = e.learners[active[i]].LocalTrain(e.cfg.LocalSteps, globalStep, e.cfg.Schedule)
+			}
+		}()
+	}
+	for i := range active {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return losses
+}
+
+// uploadAssignment maps each server to the active clients uploading to
+// it in round t.
+func (e *Engine) uploadAssignment(t int, active []int) [][]int {
+	assign := make([][]int, e.cfg.Servers)
+	switch e.cfg.Upload {
+	case FullUpload:
+		for i := range assign {
+			assign[i] = active
+		}
+	case RoundRobinUpload:
+		for _, k := range active {
+			i := (k + t) % e.cfg.Servers
+			assign[i] = append(assign[i], k)
+		}
+	default: // SparseUpload
+		for _, k := range active {
+			i := SparseUploadChoice(e.cfg.Seed, t, k, e.cfg.Servers)
+			assign[i] = append(assign[i], k)
+		}
+	}
+	return assign
+}
+
+// SparseUploadChoice returns the PS index client k uploads to in round
+// t. It is derived per (seed, round, client) so the in-process engine
+// and the distributed runtime (where each client draws its own choice)
+// produce identical assignments.
+func SparseUploadChoice(seed uint64, round, client, servers int) int {
+	r := randx.Split(seed, fmt.Sprintf("upload/r%d/c%d", round, client))
+	return r.IntN(servers)
+}
+
+// AttackRNG derives the deterministic randomness stream a Byzantine
+// server uses when tampering in round t. Consistent attacks share one
+// stream per (server, round); equivocating attacks get an independent
+// stream per destination client. Exported so the distributed runtime
+// produces byte-identical attack traces to the in-process engine.
+func AttackRNG(seed uint64, server, round, client int, equivocates bool) *randx.RNG {
+	if equivocates {
+		return randx.Split(seed, fmt.Sprintf("attack/s%d/r%d/c%d", server, round, client))
+	}
+	return randx.Split(seed, fmt.Sprintf("attack/s%d/r%d", server, round))
+}
+
+// UploadAttackRNG derives the randomness stream a Byzantine client uses
+// when tampering its round-t upload. Exported for distributed-runtime
+// parity, like AttackRNG.
+func UploadAttackRNG(seed uint64, round, client int) *randx.RNG {
+	return randx.Split(seed, fmt.Sprintf("uattack/r%d/c%d", round, client))
+}
+
+// disseminate returns a function yielding the P model vectors client k
+// receives in round t, applying the Byzantine attack where configured.
+// Consistent attacks are computed once per server; equivocating attacks
+// are recomputed per client with a per-client RNG stream.
+func (e *Engine) disseminate(t int, aggs [][]float64) func(k int) [][]float64 {
+	atk := e.cfg.Attack
+	// Colluding attackers (the paper's adaptive adversary) see the
+	// benign servers' honest aggregates.
+	var benignAggs [][]float64
+	for i, a := range aggs {
+		if !e.cfg.IsByzantine(i) {
+			benignAggs = append(benignAggs, a)
+		}
+	}
+	consistent := make(map[int][]float64, len(e.cfg.ByzantineIDs))
+	if !atk.Equivocates() {
+		for _, i := range e.cfg.ByzantineIDs {
+			ctx := &attack.Context{
+				Round:      t,
+				Server:     i,
+				Client:     -1,
+				TrueAgg:    aggs[i],
+				History:    e.history[i],
+				BenignAggs: benignAggs,
+				RNG:        AttackRNG(e.cfg.Seed, i, t, -1, false),
+			}
+			consistent[i] = atk.Tamper(ctx)
+		}
+	}
+	return func(k int) [][]float64 {
+		received := make([][]float64, e.cfg.Servers)
+		for i := 0; i < e.cfg.Servers; i++ {
+			if !e.cfg.IsByzantine(i) {
+				received[i] = aggs[i]
+				continue
+			}
+			if v, ok := consistent[i]; ok {
+				received[i] = v
+				continue
+			}
+			ctx := &attack.Context{
+				Round:      t,
+				Server:     i,
+				Client:     k,
+				TrueAgg:    aggs[i],
+				History:    e.history[i],
+				BenignAggs: benignAggs,
+				RNG:        AttackRNG(e.cfg.Seed, i, t, k, true),
+			}
+			received[i] = atk.Tamper(ctx)
+		}
+		return received
+	}
+}
+
+// benignMean averages the honest aggregates — the reference point the
+// paper's feasibility notion ("not far away from the global models
+// aggregated by the benign PSs") is measured against.
+func (e *Engine) benignMean(aggs [][]float64) []float64 {
+	mean := make([]float64, e.dim)
+	n := 0
+	for i, a := range aggs {
+		if e.cfg.IsByzantine(i) {
+			continue
+		}
+		tensor.VecAdd(mean, a)
+		n++
+	}
+	if n == 0 {
+		return mean
+	}
+	tensor.VecScale(mean, 1/float64(n))
+	return mean
+}
+
+// Evaluate averages test loss and accuracy over the first EvalClients
+// client models (the paper reports the average test accuracy of the
+// local models).
+func (e *Engine) Evaluate() (loss, acc float64) {
+	n := e.cfg.EvalClients
+	for k := 0; k < n; k++ {
+		l, a := e.learners[k].Evaluate()
+		loss += l
+		acc += a
+	}
+	return loss / float64(n), acc / float64(n)
+}
+
+// MeanClientParams returns the average of all client parameter vectors
+// (the analysis's w̄_t), for diagnostics and the theory experiments.
+func (e *Engine) MeanClientParams() []float64 {
+	mean := make([]float64, e.dim)
+	for _, l := range e.learners {
+		tensor.VecAdd(mean, l.Params())
+	}
+	tensor.VecScale(mean, 1/float64(e.cfg.Clients))
+	return mean
+}
+
+// RunContext executes rounds until the configured count is reached or
+// ctx is cancelled, returning the stats of the completed rounds and
+// ctx.Err() if it stopped early. Cancellation is checked between
+// rounds, so a returned prefix is always a consistent training state.
+func (e *Engine) RunContext(ctx context.Context) ([]RoundStats, error) {
+	stats := make([]RoundStats, 0, e.cfg.Rounds)
+	for t := e.round; t < e.cfg.Rounds; t++ {
+		select {
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		default:
+		}
+		stats = append(stats, e.RunRound())
+	}
+	return stats, nil
+}

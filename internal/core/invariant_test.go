@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+)
+
+// TestFilterOutputWithinHonestSpan is the engine-level statement of
+// Lemma 2's feasibility guarantee: with trim count m = B, every
+// client's filtered model lies coordinate-wise within the span of the
+// servers' *honest* aggregates, no matter what the B Byzantine servers
+// disseminate. Runs under the most hostile configured attack
+// (equivocating Random) across several rounds and seeds.
+func TestFilterOutputWithinHonestSpan(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		learners, _ := testFixture(t, 8, 50+seed)
+		cfg := baseConfig(8, 5, 1, attack.Random{PerClient: true}, aggregate.TrimmedMean{Beta: 0.2})
+		cfg.Seed = seed
+		cfg.Rounds = 6
+		cfg.EvalEvery = -1
+		eng, err := NewEngine(cfg, learners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < cfg.Rounds; round++ {
+			eng.RunRound()
+			// Honest aggregates of ALL servers this round (Byzantine
+			// servers aggregate honestly; they lie at dissemination).
+			honest := make([][]float64, cfg.Servers)
+			for i := 0; i < cfg.Servers; i++ {
+				honest[i] = eng.history[i][round]
+			}
+			for k, l := range eng.Learners() {
+				params := l.Params()
+				for j := range params {
+					lo, hi := honest[0][j], honest[0][j]
+					for _, h := range honest[1:] {
+						if h[j] < lo {
+							lo = h[j]
+						}
+						if h[j] > hi {
+							hi = h[j]
+						}
+					}
+					if params[j] < lo-1e-9 || params[j] > hi+1e-9 {
+						t.Fatalf("seed %d round %d client %d coord %d: filtered %v outside honest span [%v, %v]",
+							seed, round, k, j, params[j], lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVanillaFilterViolatesSpan is the negative control: with the mean
+// filter (no trimming) the Random attack pushes client models outside
+// the honest span — the invariant above is the filter's doing, not an
+// accident of the engine.
+func TestVanillaFilterViolatesSpan(t *testing.T) {
+	learners, _ := testFixture(t, 8, 60)
+	cfg := baseConfig(8, 5, 1, attack.Random{}, aggregate.Mean{})
+	cfg.Rounds = 1
+	cfg.EvalEvery = -1
+	eng, err := NewEngine(cfg, learners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunRound()
+	honest := make([][]float64, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		honest[i] = eng.history[i][0]
+	}
+	params := eng.Learners()[0].Params()
+	violated := false
+	for j := range params {
+		lo, hi := honest[0][j], honest[0][j]
+		for _, h := range honest[1:] {
+			if h[j] < lo {
+				lo = h[j]
+			}
+			if h[j] > hi {
+				hi = h[j]
+			}
+		}
+		if params[j] < lo-1e-9 || params[j] > hi+1e-9 {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Fatal("mean filter unexpectedly stayed within the honest span under Random attack")
+	}
+}

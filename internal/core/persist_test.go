@@ -1,0 +1,96 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+)
+
+func TestSaveLoadLearner(t *testing.T) {
+	learners, _ := testFixture(t, 2, 40)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+
+	// Train a little so the saved model is non-trivial.
+	cfg := baseConfig(2, 2, 0, attack.None{}, aggregate.Mean{})
+	cfg.Rounds = 3
+	cfg.EvalEvery = -1
+	eng, err := NewEngine(cfg, learners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	trained := learners[0].Params()
+
+	if err := SaveLearner(path, learners[0], 3, cfg.Seed, map[string]string{"model": "logistic"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh learner with different weights; loading must restore.
+	fresh, _ := testFixture(t, 1, 41)
+	st, err := LoadLearner(path, fresh[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 3 || st.Meta["model"] != "logistic" {
+		t.Fatalf("metadata round trip: %+v", st)
+	}
+	got := fresh[0].Params()
+	for i := range trained {
+		if got[i] != trained[i] {
+			t.Fatal("loaded params differ from saved")
+		}
+	}
+}
+
+func TestLoadLearnerDimensionMismatch(t *testing.T) {
+	learners, _ := testFixture(t, 1, 42)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveLearner(path, learners[0], 0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A learner over a different feature dimension must be rejected.
+	small := quadDimLearner(t)
+	if _, err := LoadLearner(path, small); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+// quadDimLearner builds a learner with a tiny, different dimension.
+func quadDimLearner(t *testing.T) Learner {
+	t.Helper()
+	learners, _ := testFixtureDim(t, 1, 43, 4)
+	return learners[0]
+}
+
+func TestSaveConsensus(t *testing.T) {
+	learners, _ := testFixture(t, 3, 44)
+	cfg := baseConfig(3, 2, 0, attack.None{}, aggregate.Mean{})
+	cfg.Rounds = 2
+	cfg.EvalEvery = -1
+	eng, err := NewEngine(cfg, learners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	path := filepath.Join(t.TempDir(), "consensus.ckpt")
+	if err := eng.SaveConsensus(path, map[string]string{"run": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := testFixture(t, 1, 45)
+	st, err := LoadLearner(path, fresh[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 2 || st.Seed != cfg.Seed {
+		t.Fatalf("consensus metadata: %+v", st)
+	}
+	want := eng.MeanClientParams()
+	got := fresh[0].Params()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("consensus params differ")
+		}
+	}
+}

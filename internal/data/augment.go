@@ -1,0 +1,74 @@
+package data
+
+import (
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+// Augmenter applies the standard light image augmentations used for
+// CIFAR-scale training — pad-and-random-crop plus random horizontal
+// flip — to [N, C, H, W] batches. Augmentation happens at batch time
+// so every epoch sees different views.
+type Augmenter struct {
+	// Pad is the zero padding added before the random crop (the usual
+	// CIFAR setting is 4). Zero disables cropping.
+	Pad int
+	// FlipProb is the probability of a horizontal flip per sample
+	// (usual setting 0.5). Zero disables flipping.
+	FlipProb float64
+
+	rng *randx.RNG
+}
+
+// NewAugmenter constructs an augmenter with its own deterministic
+// randomness stream.
+func NewAugmenter(pad int, flipProb float64, seed uint64) *Augmenter {
+	return &Augmenter{Pad: pad, FlipProb: flipProb, rng: randx.Split(seed, "augment")}
+}
+
+// Apply returns an augmented copy of the batch (the input is left
+// untouched).
+func (a *Augmenter) Apply(x *tensor.Dense) *tensor.Dense {
+	if x.Rank() != 4 {
+		panic("data: Augmenter requires [N,C,H,W] input")
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, h, w)
+	src, dst := x.Data(), out.Data()
+	plane := h * w
+	sample := c * plane
+
+	for i := 0; i < n; i++ {
+		// Crop offset within the padded frame: shifting the source
+		// window by dy,dx in [-Pad, Pad]; out-of-frame pixels are zero.
+		dy, dx := 0, 0
+		if a.Pad > 0 {
+			dy = a.rng.IntN(2*a.Pad+1) - a.Pad
+			dx = a.rng.IntN(2*a.Pad+1) - a.Pad
+		}
+		flip := a.FlipProb > 0 && a.rng.Float64() < a.FlipProb
+
+		for ch := 0; ch < c; ch++ {
+			sbase := i*sample + ch*plane
+			dbase := sbase
+			for y := 0; y < h; y++ {
+				sy := y + dy
+				if sy < 0 || sy >= h {
+					continue // zero padding (dst is zero-initialized)
+				}
+				for xx := 0; xx < w; xx++ {
+					sx := xx + dx
+					if sx < 0 || sx >= w {
+						continue
+					}
+					tx := xx
+					if flip {
+						tx = w - 1 - xx
+					}
+					dst[dbase+y*w+tx] = src[sbase+sy*w+sx]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"fedms/internal/tensor"
+)
+
+func imageBatch() *tensor.Dense {
+	// One 1-channel 4x4 image with distinct values 0..15.
+	x := tensor.New(1, 1, 4, 4)
+	for i, d := 0, x.Data(); i < len(d); i++ {
+		d[i] = float64(i)
+	}
+	return x
+}
+
+func TestAugmenterIdentityWhenDisabled(t *testing.T) {
+	a := NewAugmenter(0, 0, 1)
+	x := imageBatch()
+	y := a.Apply(x)
+	if !y.AllClose(x, 0) {
+		t.Fatal("disabled augmenter must be the identity")
+	}
+	// And must not alias the input.
+	y.Set(99, 0, 0, 0, 0)
+	if x.At(0, 0, 0, 0) == 99 {
+		t.Fatal("Apply must copy")
+	}
+}
+
+func TestAugmenterFlipOnly(t *testing.T) {
+	a := NewAugmenter(0, 1.0, 2) // always flip
+	x := imageBatch()
+	y := a.Apply(x)
+	// Row 0 of the source is 0,1,2,3; flipped it is 3,2,1,0.
+	want := []float64{3, 2, 1, 0}
+	for j, wv := range want {
+		if y.At(0, 0, 0, j) != wv {
+			t.Fatalf("flip wrong: row0 = %v", y.Data()[:4])
+		}
+	}
+}
+
+func TestAugmenterCropPreservesMass(t *testing.T) {
+	// With pad=1, some shifts move content out of frame; the output
+	// must contain a subset of the original values plus zeros — never
+	// new values.
+	a := NewAugmenter(1, 0, 3)
+	x := imageBatch()
+	orig := map[float64]bool{}
+	for _, v := range x.Data() {
+		orig[v] = true
+	}
+	for trial := 0; trial < 20; trial++ {
+		y := a.Apply(x)
+		for _, v := range y.Data() {
+			if v != 0 && !orig[v] {
+				t.Fatalf("augmentation invented value %v", v)
+			}
+		}
+	}
+}
+
+func TestAugmenterVariesAcrossCalls(t *testing.T) {
+	a := NewAugmenter(1, 0.5, 4)
+	x := imageBatch()
+	distinct := false
+	first := a.Apply(x)
+	for trial := 0; trial < 10; trial++ {
+		if !a.Apply(x).AllClose(first, 0) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("augmenter produced identical output across 10 draws")
+	}
+}
+
+func TestAugmenterDeterministicPerSeed(t *testing.T) {
+	x := imageBatch()
+	a1 := NewAugmenter(1, 0.5, 7)
+	a2 := NewAugmenter(1, 0.5, 7)
+	for trial := 0; trial < 5; trial++ {
+		if !a1.Apply(x).AllClose(a2.Apply(x), 0) {
+			t.Fatal("same-seed augmenters diverged")
+		}
+	}
+}
+
+func TestAugmenterMultiChannelConsistency(t *testing.T) {
+	// All channels of one sample must receive the same geometric
+	// transform.
+	x := tensor.New(1, 2, 4, 4)
+	d := x.Data()
+	for i := 0; i < 16; i++ {
+		d[i] = float64(i + 1)      // channel 0: 1..16
+		d[16+i] = float64(i + 101) // channel 1: 101..116
+	}
+	a := NewAugmenter(1, 0.5, 9)
+	for trial := 0; trial < 10; trial++ {
+		y := a.Apply(x)
+		yd := y.Data()
+		for i := 0; i < 16; i++ {
+			c0, c1 := yd[i], yd[16+i]
+			if (c0 == 0) != (c1 == 0) {
+				t.Fatal("channels received different crops")
+			}
+			if c0 != 0 && math.Abs(c1-c0-100) > 1e-12 {
+				t.Fatalf("channels misaligned: %v vs %v", c0, c1)
+			}
+		}
+	}
+}
+
+func TestAugmenterPanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAugmenter(1, 0.5, 1).Apply(tensor.New(2, 3))
+}

@@ -1,0 +1,80 @@
+package data
+
+import (
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+// Batcher draws mini-batches from a dataset with its own deterministic
+// RNG. It matches the paper's local-training step: "randomly sample a
+// mini-batch ξ from D_k" — sampling is with replacement across calls and
+// without replacement within a batch.
+type Batcher struct {
+	ds        *Dataset
+	batchSize int
+	rng       *randx.RNG
+	scratch   []int
+}
+
+// NewBatcher constructs a batcher over ds. batchSize is clamped to the
+// dataset size.
+func NewBatcher(ds *Dataset, batchSize int, rng *randx.RNG) *Batcher {
+	if batchSize <= 0 {
+		panic("data: batch size must be positive")
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	return &Batcher{
+		ds:        ds,
+		batchSize: batchSize,
+		rng:       rng,
+		scratch:   make([]int, batchSize),
+	}
+}
+
+// BatchSize returns the effective batch size.
+func (b *Batcher) BatchSize() int { return b.batchSize }
+
+// Next returns one random mini-batch.
+func (b *Batcher) Next() (*tensor.Dense, []int) {
+	n := b.ds.Len()
+	if b.batchSize == n {
+		for i := range b.scratch {
+			b.scratch[i] = i
+		}
+	} else {
+		// Sample without replacement within the batch via partial
+		// Fisher-Yates over a lazily materialized index set.
+		seen := make(map[int]int, b.batchSize)
+		for i := 0; i < b.batchSize; i++ {
+			j := i + b.rng.IntN(n-i)
+			vi, oki := seen[i]
+			if !oki {
+				vi = i
+			}
+			vj, okj := seen[j]
+			if !okj {
+				vj = j
+			}
+			b.scratch[i] = vj
+			seen[j] = vi
+			seen[i] = vj
+		}
+	}
+	return b.ds.Batch(b.scratch)
+}
+
+// Epoch iterates the whole dataset once in shuffled order, calling fn
+// with each batch (the final batch may be smaller).
+func (b *Batcher) Epoch(fn func(x *tensor.Dense, y []int)) {
+	perm := randx.Perm(b.rng, b.ds.Len())
+	for lo := 0; lo < len(perm); lo += b.batchSize {
+		hi := lo + b.batchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		x, y := b.ds.Batch(perm[lo:hi])
+		fn(x, y)
+	}
+}

@@ -1,0 +1,152 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fedms/internal/tensor"
+)
+
+// fromFlat wraps a flat buffer as a dataset tensor.
+func fromFlat(buf []float64, shape ...int) *tensor.Dense {
+	return tensor.FromSlice(buf, shape...)
+}
+
+// CIFAR-10 binary-format loader. This repository's experiments run on
+// synthetic stand-ins because the environment is offline, but the
+// library supports the paper's actual dataset: drop the standard
+// "cifar-10-batches-bin" directory (from the python/binary tarball at
+// https://www.cs.toronto.edu/~kriz/cifar.html) next to your binary and
+// call LoadCIFAR10.
+//
+// Binary format, per record: 1 label byte followed by 3072 pixel bytes
+// (32×32 red plane, then green, then blue); 10000 records per batch
+// file.
+
+const (
+	cifarImageBytes  = 3 * 32 * 32
+	cifarRecordBytes = 1 + cifarImageBytes
+	// CIFARClasses is the CIFAR-10 class count.
+	CIFARClasses = 10
+)
+
+// CIFAR10TrainFiles are the training batch file names of the binary
+// distribution.
+var CIFAR10TrainFiles = []string{
+	"data_batch_1.bin",
+	"data_batch_2.bin",
+	"data_batch_3.bin",
+	"data_batch_4.bin",
+	"data_batch_5.bin",
+}
+
+// CIFAR10TestFile is the test batch file name.
+const CIFAR10TestFile = "test_batch.bin"
+
+// LoadCIFAR10 reads the train and test sets from a
+// cifar-10-batches-bin directory. Pixels are scaled to [0, 1] and then
+// standardized per channel with the canonical CIFAR-10 statistics.
+func LoadCIFAR10(dir string) (train, test *Dataset, err error) {
+	train, err = loadCIFARFiles(dir, CIFAR10TrainFiles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: cifar10 train: %w", err)
+	}
+	test, err = loadCIFARFiles(dir, []string{CIFAR10TestFile})
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: cifar10 test: %w", err)
+	}
+	return train, test, nil
+}
+
+// LoadCIFAR10Batch reads a single batch file.
+func LoadCIFAR10Batch(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCIFAR10(f)
+}
+
+func loadCIFARFiles(dir string, files []string) (*Dataset, error) {
+	var parts []*Dataset
+	for _, name := range files {
+		ds, err := LoadCIFAR10Batch(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ds)
+	}
+	return Concat(parts...)
+}
+
+// ReadCIFAR10 parses CIFAR-10 binary records from r until EOF.
+func ReadCIFAR10(r io.Reader) (*Dataset, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 || len(raw)%cifarRecordBytes != 0 {
+		return nil, fmt.Errorf("data: cifar10 stream length %d is not a multiple of %d", len(raw), cifarRecordBytes)
+	}
+	n := len(raw) / cifarRecordBytes
+
+	// Canonical per-channel normalization statistics (mean, std) of the
+	// CIFAR-10 training set.
+	means := [3]float64{0.4914, 0.4822, 0.4465}
+	stds := [3]float64{0.2470, 0.2435, 0.2616}
+
+	x := make([]float64, n*cifarImageBytes)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		rec := raw[i*cifarRecordBytes : (i+1)*cifarRecordBytes]
+		label := int(rec[0])
+		if label < 0 || label >= CIFARClasses {
+			return nil, fmt.Errorf("data: cifar10 record %d has label %d", i, label)
+		}
+		y[i] = label
+		pixels := rec[1:]
+		base := i * cifarImageBytes
+		for c := 0; c < 3; c++ {
+			plane := pixels[c*1024 : (c+1)*1024]
+			for j, p := range plane {
+				x[base+c*1024+j] = (float64(p)/255.0 - means[c]) / stds[c]
+			}
+		}
+	}
+	return &Dataset{
+		X:          fromFlat(x, n, 3, 32, 32),
+		Y:          y,
+		NumClasses: CIFARClasses,
+	}, nil
+}
+
+// Concat joins datasets with identical sample shapes and class counts.
+func Concat(parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("data: Concat of nothing")
+	}
+	first := parts[0]
+	total := 0
+	for _, p := range parts {
+		if p.NumClasses != first.NumClasses {
+			return nil, fmt.Errorf("data: Concat class mismatch %d vs %d", p.NumClasses, first.NumClasses)
+		}
+		if p.SampleLen() != first.SampleLen() {
+			return nil, fmt.Errorf("data: Concat sample shape mismatch")
+		}
+		total += p.Len()
+	}
+	shape := first.X.Shape()
+	shape[0] = total
+	x := make([]float64, total*first.SampleLen())
+	y := make([]int, 0, total)
+	off := 0
+	for _, p := range parts {
+		off += copy(x[off:], p.X.Data())
+		y = append(y, p.Y...)
+	}
+	return &Dataset{X: fromFlat(x, shape...), Y: y, NumClasses: first.NumClasses}, nil
+}

@@ -1,0 +1,144 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedms/internal/randx"
+)
+
+// writeFakeCIFAR writes n records in the CIFAR-10 binary format with
+// deterministic contents: label = i % 10, pixel value = (i + plane
+// index) % 256.
+func writeFakeCIFAR(n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		buf.WriteByte(byte(i % 10))
+		for j := 0; j < cifarImageBytes; j++ {
+			buf.WriteByte(byte((i + j) % 256))
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadCIFAR10ParsesRecords(t *testing.T) {
+	ds, err := ReadCIFAR10(bytes.NewReader(writeFakeCIFAR(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 20 || ds.NumClasses != 10 {
+		t.Fatalf("parsed %d samples, %d classes", ds.Len(), ds.NumClasses)
+	}
+	shape := ds.X.Shape()
+	if shape[1] != 3 || shape[2] != 32 || shape[3] != 32 {
+		t.Fatalf("shape = %v", shape)
+	}
+	for i, y := range ds.Y {
+		if y != i%10 {
+			t.Fatalf("label %d = %d", i, y)
+		}
+	}
+	// First pixel of record 0: raw byte 0 -> (0/255 - 0.4914)/0.2470.
+	want := (0.0 - 0.4914) / 0.2470
+	if got := ds.X.At(0, 0, 0, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("normalized pixel = %v, want %v", got, want)
+	}
+}
+
+func TestReadCIFAR10RejectsBadLength(t *testing.T) {
+	if _, err := ReadCIFAR10(bytes.NewReader(make([]byte, 100))); err == nil {
+		t.Fatal("misaligned stream must error")
+	}
+	if _, err := ReadCIFAR10(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+func TestReadCIFAR10RejectsBadLabel(t *testing.T) {
+	raw := writeFakeCIFAR(1)
+	raw[0] = 11
+	if _, err := ReadCIFAR10(bytes.NewReader(raw)); err == nil {
+		t.Fatal("label 11 must error")
+	}
+}
+
+func TestLoadCIFAR10Directory(t *testing.T) {
+	dir := t.TempDir()
+	// Standard layout: five train batches + one test batch (tiny fakes).
+	for _, name := range CIFAR10TrainFiles {
+		if err := os.WriteFile(filepath.Join(dir, name), writeFakeCIFAR(6), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, CIFAR10TestFile), writeFakeCIFAR(4), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := LoadCIFAR10(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 30 || test.Len() != 4 {
+		t.Fatalf("train %d test %d", train.Len(), test.Len())
+	}
+}
+
+func TestLoadCIFAR10MissingDir(t *testing.T) {
+	if _, _, err := LoadCIFAR10(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Blobs(BlobsConfig{Samples: 10, Features: 4, NumClasses: 2, Seed: 1})
+	b := Blobs(BlobsConfig{Samples: 6, Features: 4, NumClasses: 2, Seed: 2})
+	joined, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 16 {
+		t.Fatalf("Len = %d", joined.Len())
+	}
+	// Order preserved: first part's samples first.
+	if joined.X.At(0, 0) != a.X.At(0, 0) || joined.X.At(10, 0) != b.X.At(0, 0) {
+		t.Fatal("Concat order broken")
+	}
+	if joined.Y[15] != b.Y[5] {
+		t.Fatal("labels misaligned")
+	}
+}
+
+func TestConcatMismatch(t *testing.T) {
+	a := Blobs(BlobsConfig{Samples: 4, Features: 4, NumClasses: 2, Seed: 1})
+	b := Blobs(BlobsConfig{Samples: 4, Features: 5, NumClasses: 2, Seed: 2})
+	if _, err := Concat(a, b); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	c := Blobs(BlobsConfig{Samples: 4, Features: 4, NumClasses: 3, Seed: 3})
+	if _, err := Concat(a, c); err == nil {
+		t.Fatal("class mismatch must error")
+	}
+	if _, err := Concat(); err == nil {
+		t.Fatal("empty concat must error")
+	}
+}
+
+func TestCIFARPartitionsAndTrains(t *testing.T) {
+	// End-to-end smoke: fake CIFAR data flows through the Dirichlet
+	// partitioner and the batcher like any other dataset.
+	ds, err := ReadCIFAR10(bytes.NewReader(writeFakeCIFAR(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := DirichletPartition(ds.Y, ds.NumClasses, 5, 10, 1)
+	if parts.TotalSamples() != 50 {
+		t.Fatalf("partition lost samples: %d", parts.TotalSamples())
+	}
+	b := NewBatcher(ds.Subset(parts[0]), 4, randx.New(2))
+	x, y := b.Next()
+	if x.Dim(1) != 3 || len(y) == 0 {
+		t.Fatal("batching CIFAR data failed")
+	}
+}

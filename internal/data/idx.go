@@ -1,0 +1,187 @@
+package data
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// IDX (MNIST-format) loader. MNIST and Fashion-MNIST ship as pairs of
+// IDX files (images: magic 0x00000803, labels: magic 0x00000801),
+// optionally gzipped. Like the CIFAR-10 loader, this exists so the
+// library runs on real benchmark data when it is available on disk.
+
+const (
+	idxMagicLabels = 0x00000801
+	idxMagicImages = 0x00000803
+	// maxIDXItems bounds the item count accepted from a header,
+	// protecting against corrupt files.
+	maxIDXItems = 10_000_000
+)
+
+// MNISTFiles are the canonical file names of an MNIST-layout directory
+// (gzipped or not; the loader tries both).
+var MNISTFiles = struct {
+	TrainImages, TrainLabels, TestImages, TestLabels string
+}{
+	TrainImages: "train-images-idx3-ubyte",
+	TrainLabels: "train-labels-idx1-ubyte",
+	TestImages:  "t10k-images-idx3-ubyte",
+	TestLabels:  "t10k-labels-idx1-ubyte",
+}
+
+// LoadMNIST reads an MNIST-layout directory (MNIST, Fashion-MNIST, or
+// anything else in IDX format with 10 classes). Pixels are scaled to
+// [0, 1].
+func LoadMNIST(dir string) (train, test *Dataset, err error) {
+	train, err = loadIDXPair(
+		filepath.Join(dir, MNISTFiles.TrainImages),
+		filepath.Join(dir, MNISTFiles.TrainLabels))
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: mnist train: %w", err)
+	}
+	test, err = loadIDXPair(
+		filepath.Join(dir, MNISTFiles.TestImages),
+		filepath.Join(dir, MNISTFiles.TestLabels))
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: mnist test: %w", err)
+	}
+	return train, test, nil
+}
+
+// loadIDXPair loads an image/label file pair into a dataset.
+func loadIDXPair(imagePath, labelPath string) (*Dataset, error) {
+	images, h, w, err := readIDXImagesFile(imagePath)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := readIDXLabelsFile(labelPath)
+	if err != nil {
+		return nil, err
+	}
+	n := len(labels)
+	if len(images) != n*h*w {
+		return nil, fmt.Errorf("data: %d images for %d labels", len(images)/(h*w), n)
+	}
+	return &Dataset{
+		X:          fromFlat(images, n, 1, h, w),
+		Y:          labels,
+		NumClasses: 10,
+	}, nil
+}
+
+// openMaybeGzip opens path, falling back to path+".gz", transparently
+// ungzipping.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	if f, err := os.Open(path); err == nil {
+		if strings.HasSuffix(path, ".gz") {
+			return gzipReadCloser(f)
+		}
+		return f, nil
+	}
+	f, err := os.Open(path + ".gz")
+	if err != nil {
+		return nil, fmt.Errorf("data: open %s(.gz): %w", path, err)
+	}
+	return gzipReadCloser(f)
+}
+
+type readCloser struct {
+	io.Reader
+	closers []io.Closer
+}
+
+func (r *readCloser) Close() error {
+	var first error
+	for _, c := range r.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func gzipReadCloser(f *os.File) (io.ReadCloser, error) {
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &readCloser{Reader: gz, closers: []io.Closer{gz, f}}, nil
+}
+
+func readIDXImagesFile(path string) ([]float64, int, int, error) {
+	r, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer r.Close()
+	return ReadIDXImages(r)
+}
+
+func readIDXLabelsFile(path string) ([]int, error) {
+	r, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return ReadIDXLabels(r)
+}
+
+// ReadIDXImages parses an IDX3 image stream, returning pixels scaled to
+// [0, 1] plus the image height and width.
+func ReadIDXImages(r io.Reader) ([]float64, int, int, error) {
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: idx image header: %w", err)
+	}
+	if binary.BigEndian.Uint32(header[0:]) != idxMagicImages {
+		return nil, 0, 0, fmt.Errorf("data: bad idx image magic %#x", binary.BigEndian.Uint32(header[0:]))
+	}
+	n := int(binary.BigEndian.Uint32(header[4:]))
+	h := int(binary.BigEndian.Uint32(header[8:]))
+	w := int(binary.BigEndian.Uint32(header[12:]))
+	if n <= 0 || n > maxIDXItems || h <= 0 || w <= 0 || h > 4096 || w > 4096 {
+		return nil, 0, 0, fmt.Errorf("data: implausible idx image dimensions n=%d h=%d w=%d", n, h, w)
+	}
+	raw := make([]byte, n*h*w)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: idx image payload: %w", err)
+	}
+	out := make([]float64, len(raw))
+	for i, b := range raw {
+		out[i] = float64(b) / 255.0
+	}
+	return out, h, w, nil
+}
+
+// ReadIDXLabels parses an IDX1 label stream.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("data: idx label header: %w", err)
+	}
+	if binary.BigEndian.Uint32(header[0:]) != idxMagicLabels {
+		return nil, fmt.Errorf("data: bad idx label magic %#x", binary.BigEndian.Uint32(header[0:]))
+	}
+	n := int(binary.BigEndian.Uint32(header[4:]))
+	if n <= 0 || n > maxIDXItems {
+		return nil, fmt.Errorf("data: implausible idx label count %d", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("data: idx label payload: %w", err)
+	}
+	out := make([]int, n)
+	for i, b := range raw {
+		if b > 9 {
+			return nil, fmt.Errorf("data: idx label %d out of range at %d", b, i)
+		}
+		out[i] = int(b)
+	}
+	return out, nil
+}

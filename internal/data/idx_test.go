@@ -1,0 +1,152 @@
+package data
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeIDXImages builds an IDX3 image stream with pixel (i+j)%256.
+func fakeIDXImages(n, h, w int) []byte {
+	var buf bytes.Buffer
+	header := make([]byte, 16)
+	binary.BigEndian.PutUint32(header[0:], idxMagicImages)
+	binary.BigEndian.PutUint32(header[4:], uint32(n))
+	binary.BigEndian.PutUint32(header[8:], uint32(h))
+	binary.BigEndian.PutUint32(header[12:], uint32(w))
+	buf.Write(header)
+	for i := 0; i < n*h*w; i++ {
+		buf.WriteByte(byte(i % 256))
+	}
+	return buf.Bytes()
+}
+
+// fakeIDXLabels builds an IDX1 label stream with label i%10.
+func fakeIDXLabels(n int) []byte {
+	var buf bytes.Buffer
+	header := make([]byte, 8)
+	binary.BigEndian.PutUint32(header[0:], idxMagicLabels)
+	binary.BigEndian.PutUint32(header[4:], uint32(n))
+	buf.Write(header)
+	for i := 0; i < n; i++ {
+		buf.WriteByte(byte(i % 10))
+	}
+	return buf.Bytes()
+}
+
+func TestReadIDXImages(t *testing.T) {
+	px, h, w, err := ReadIDXImages(bytes.NewReader(fakeIDXImages(3, 4, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 4 || w != 5 || len(px) != 60 {
+		t.Fatalf("h=%d w=%d len=%d", h, w, len(px))
+	}
+	if px[0] != 0 || px[1] != 1.0/255 {
+		t.Fatalf("pixel scaling wrong: %v %v", px[0], px[1])
+	}
+}
+
+func TestReadIDXLabels(t *testing.T) {
+	ys, err := ReadIDXLabels(bytes.NewReader(fakeIDXLabels(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 12 || ys[11] != 1 {
+		t.Fatalf("labels = %v", ys)
+	}
+}
+
+func TestReadIDXRejectsBadMagic(t *testing.T) {
+	img := fakeIDXImages(1, 2, 2)
+	img[3] = 0x99
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(img)); err == nil {
+		t.Fatal("bad image magic must error")
+	}
+	lbl := fakeIDXLabels(1)
+	lbl[3] = 0x99
+	if _, err := ReadIDXLabels(bytes.NewReader(lbl)); err == nil {
+		t.Fatal("bad label magic must error")
+	}
+}
+
+func TestReadIDXRejectsTruncation(t *testing.T) {
+	img := fakeIDXImages(2, 3, 3)
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(img[:len(img)-2])); err == nil {
+		t.Fatal("truncated image payload must error")
+	}
+}
+
+func TestReadIDXRejectsImplausibleHeader(t *testing.T) {
+	img := fakeIDXImages(1, 2, 2)
+	binary.BigEndian.PutUint32(img[4:], 0xFFFFFFFF) // absurd count
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(img)); err == nil {
+		t.Fatal("absurd count must error")
+	}
+}
+
+func TestReadIDXRejectsBadLabelValue(t *testing.T) {
+	lbl := fakeIDXLabels(2)
+	lbl[len(lbl)-1] = 200
+	if _, err := ReadIDXLabels(bytes.NewReader(lbl)); err == nil {
+		t.Fatal("label 200 must error")
+	}
+}
+
+func TestLoadMNISTPlainAndGzip(t *testing.T) {
+	write := func(dir, name string, data []byte, gz bool) {
+		t.Helper()
+		if gz {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			if _, err := zw.Write(data); err != nil {
+				t.Fatal(err)
+			}
+			zw.Close()
+			data = buf.Bytes()
+			name += ".gz"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, gz := range []bool{false, true} {
+		dir := t.TempDir()
+		write(dir, MNISTFiles.TrainImages, fakeIDXImages(20, 28, 28), gz)
+		write(dir, MNISTFiles.TrainLabels, fakeIDXLabels(20), gz)
+		write(dir, MNISTFiles.TestImages, fakeIDXImages(5, 28, 28), gz)
+		write(dir, MNISTFiles.TestLabels, fakeIDXLabels(5), gz)
+
+		train, test, err := LoadMNIST(dir)
+		if err != nil {
+			t.Fatalf("gz=%v: %v", gz, err)
+		}
+		if train.Len() != 20 || test.Len() != 5 {
+			t.Fatalf("gz=%v: train %d test %d", gz, train.Len(), test.Len())
+		}
+		shape := train.X.Shape()
+		if shape[1] != 1 || shape[2] != 28 || shape[3] != 28 {
+			t.Fatalf("shape = %v", shape)
+		}
+	}
+}
+
+func TestLoadMNISTCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, MNISTFiles.TrainImages), fakeIDXImages(3, 28, 28), 0o644)
+	os.WriteFile(filepath.Join(dir, MNISTFiles.TrainLabels), fakeIDXLabels(4), 0o644)
+	os.WriteFile(filepath.Join(dir, MNISTFiles.TestImages), fakeIDXImages(1, 28, 28), 0o644)
+	os.WriteFile(filepath.Join(dir, MNISTFiles.TestLabels), fakeIDXLabels(1), 0o644)
+	if _, _, err := LoadMNIST(dir); err == nil {
+		t.Fatal("image/label count mismatch must error")
+	}
+}
+
+func TestLoadMNISTMissing(t *testing.T) {
+	if _, _, err := LoadMNIST(t.TempDir()); err == nil {
+		t.Fatal("missing files must error")
+	}
+}

@@ -1,0 +1,72 @@
+package data
+
+import "math"
+
+// Stats holds per-feature standardization statistics computed on a
+// training set, to be applied consistently to train and test data
+// (fitting on test data would leak).
+type Stats struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStats computes per-feature mean and standard deviation over the
+// dataset, treating each sample as a flat feature vector. Features with
+// zero variance get Std = 1 so standardization leaves them at zero.
+func FitStats(ds *Dataset) *Stats {
+	n := ds.Len()
+	f := ds.SampleLen()
+	mean := make([]float64, f)
+	std := make([]float64, f)
+	d := ds.X.Data()
+	for i := 0; i < n; i++ {
+		row := d[i*f : (i+1)*f]
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := d[i*f : (i+1)*f]
+		for j, v := range row {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return &Stats{Mean: mean, Std: std}
+}
+
+// Apply standardizes the dataset in place with the fitted statistics.
+func (s *Stats) Apply(ds *Dataset) {
+	f := ds.SampleLen()
+	if len(s.Mean) != f {
+		panic("data: Stats dimension mismatch")
+	}
+	d := ds.X.Data()
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		row := d[i*f : (i+1)*f]
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+}
+
+// Standardize fits statistics on train and applies them to both train
+// and test — the canonical preprocessing pipeline.
+func Standardize(train, test *Dataset) *Stats {
+	stats := FitStats(train)
+	stats.Apply(train)
+	if test != nil {
+		stats.Apply(test)
+	}
+	return stats
+}

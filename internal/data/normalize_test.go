@@ -1,0 +1,71 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"fedms/internal/tensor"
+)
+
+func TestFitStatsAndApply(t *testing.T) {
+	// Feature 0: values 0,2 (mean 1, std 1); feature 1: constant 5.
+	x := tensor.FromSlice([]float64{0, 5, 2, 5}, 2, 2)
+	ds := &Dataset{X: x, Y: []int{0, 1}, NumClasses: 2}
+	stats := FitStats(ds)
+	if stats.Mean[0] != 1 || stats.Mean[1] != 5 {
+		t.Fatalf("mean = %v", stats.Mean)
+	}
+	if stats.Std[0] != 1 || stats.Std[1] != 1 {
+		t.Fatalf("std = %v (constant feature must fall back to 1)", stats.Std)
+	}
+	stats.Apply(ds)
+	if ds.X.At(0, 0) != -1 || ds.X.At(1, 0) != 1 {
+		t.Fatalf("standardized feature 0 = %v %v", ds.X.At(0, 0), ds.X.At(1, 0))
+	}
+	if ds.X.At(0, 1) != 0 || ds.X.At(1, 1) != 0 {
+		t.Fatal("constant feature should standardize to 0")
+	}
+}
+
+func TestStandardizePipeline(t *testing.T) {
+	ds := Blobs(BlobsConfig{Samples: 400, Features: 8, Seed: 1, Spread: 3})
+	train, test := ds.Split(0.75)
+	Standardize(train, test)
+
+	// Train features now have ~zero mean and ~unit variance.
+	stats := FitStats(train)
+	for j := range stats.Mean {
+		if math.Abs(stats.Mean[j]) > 1e-9 {
+			t.Fatalf("train mean[%d] = %v after standardization", j, stats.Mean[j])
+		}
+		if math.Abs(stats.Std[j]-1) > 1e-9 {
+			t.Fatalf("train std[%d] = %v after standardization", j, stats.Std[j])
+		}
+	}
+	// Test set was transformed with train statistics, so it is close
+	// to but not exactly standardized.
+	tstats := FitStats(test)
+	for j := range tstats.Mean {
+		if math.Abs(tstats.Mean[j]) > 0.5 {
+			t.Fatalf("test mean[%d] = %v — wrong statistics applied?", j, tstats.Mean[j])
+		}
+	}
+}
+
+func TestApplyDimensionMismatchPanics(t *testing.T) {
+	ds := Blobs(BlobsConfig{Samples: 10, Features: 4, Seed: 2})
+	stats := &Stats{Mean: make([]float64, 3), Std: []float64{1, 1, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	stats.Apply(ds)
+}
+
+func TestStandardizeNilTest(t *testing.T) {
+	ds := Blobs(BlobsConfig{Samples: 20, Features: 4, Seed: 3})
+	if Standardize(ds, nil) == nil {
+		t.Fatal("stats should be returned")
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// ConfusionMatrix accumulates classification outcomes: rows are true
+// classes, columns predicted classes.
+type ConfusionMatrix struct {
+	classes int
+	counts  [][]int
+}
+
+// NewConfusionMatrix constructs a matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes <= 0 {
+		panic("metrics: classes must be positive")
+	}
+	counts := make([][]int, classes)
+	for i := range counts {
+		counts[i] = make([]int, classes)
+	}
+	return &ConfusionMatrix{classes: classes, counts: counts}
+}
+
+// Add records one prediction.
+func (c *ConfusionMatrix) Add(trueClass, predicted int) {
+	if trueClass < 0 || trueClass >= c.classes || predicted < 0 || predicted >= c.classes {
+		panic(fmt.Sprintf("metrics: class out of range: true=%d pred=%d classes=%d", trueClass, predicted, c.classes))
+	}
+	c.counts[trueClass][predicted]++
+}
+
+// AddBatch records a batch of predictions.
+func (c *ConfusionMatrix) AddBatch(trueClasses, predicted []int) {
+	if len(trueClasses) != len(predicted) {
+		panic("metrics: AddBatch length mismatch")
+	}
+	for i := range trueClasses {
+		c.Add(trueClasses[i], predicted[i])
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns overall top-1 accuracy (0 when empty).
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.classes; i++ {
+		correct += c.counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassRecall returns recall for one class (0 when the class is
+// absent).
+func (c *ConfusionMatrix) ClassRecall(class int) float64 {
+	row := c.counts[class]
+	n := 0
+	for _, v := range row {
+		n += v
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(row[class]) / float64(n)
+}
+
+// ClassPrecision returns precision for one class (0 when never
+// predicted).
+func (c *ConfusionMatrix) ClassPrecision(class int) float64 {
+	n := 0
+	for i := 0; i < c.classes; i++ {
+		n += c.counts[i][class]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(c.counts[class][class]) / float64(n)
+}
+
+// Counts returns a deep copy of the count matrix.
+func (c *ConfusionMatrix) Counts() [][]int {
+	out := make([][]int, c.classes)
+	for i := range out {
+		out[i] = append([]int(nil), c.counts[i]...)
+	}
+	return out
+}
+
+// WriteText renders the matrix with per-class recall.
+func (c *ConfusionMatrix) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%6s", "t\\p"); err != nil {
+		return err
+	}
+	for j := 0; j < c.classes; j++ {
+		if _, err := fmt.Fprintf(w, "%7d", j); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s\n", "recall"); err != nil {
+		return err
+	}
+	for i, row := range c.counts {
+		if _, err := fmt.Fprintf(w, "%6d", i); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := fmt.Fprintf(w, "%7d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%9.3f\n", c.ClassRecall(i)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "accuracy: %.4f over %d samples\n", c.Accuracy(), c.Total())
+	return err
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.AddBatch([]int{0, 0, 1, 2, 2}, []int{0, 1, 1, 2, 0})
+	if cm.Total() != 5 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	if acc := cm.Accuracy(); acc != 0.6 {
+		t.Fatalf("Accuracy = %v, want 0.6", acc)
+	}
+	if r := cm.ClassRecall(0); r != 0.5 {
+		t.Fatalf("recall(0) = %v", r)
+	}
+	if p := cm.ClassPrecision(1); p != 0.5 {
+		t.Fatalf("precision(1) = %v", p)
+	}
+	if r := cm.ClassRecall(2); r != 0.5 {
+		t.Fatalf("recall(2) = %v", r)
+	}
+}
+
+func TestConfusionMatrixEmpty(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	if cm.Accuracy() != 0 || cm.ClassRecall(0) != 0 || cm.ClassPrecision(1) != 0 {
+		t.Fatal("empty matrix metrics should be 0")
+	}
+}
+
+func TestConfusionMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusionMatrix(2).Add(2, 0)
+}
+
+func TestConfusionMatrixBatchLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusionMatrix(2).AddBatch([]int{0}, []int{0, 1})
+}
+
+func TestConfusionMatrixCountsIsCopy(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	cm.Add(0, 0)
+	counts := cm.Counts()
+	counts[0][0] = 99
+	if cm.Counts()[0][0] != 1 {
+		t.Fatal("Counts must return a copy")
+	}
+}
+
+func TestConfusionMatrixWriteText(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	cm.AddBatch([]int{0, 1, 1}, []int{0, 1, 0})
+	var sb strings.Builder
+	if err := cm.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "accuracy: 0.6667") || !strings.Contains(out, "recall") {
+		t.Fatalf("rendering missing content:\n%s", out)
+	}
+}

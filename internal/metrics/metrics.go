@@ -1,0 +1,236 @@
+// Package metrics records experiment time series and renders them as
+// the tables/CSV the benchmark harness emits — the textual counterpart
+// of the paper's accuracy-versus-epoch figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve: a value per round.
+type Series struct {
+	Name   string
+	Rounds []int
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(round int, value float64) {
+	s.Rounds = append(s.Rounds, round)
+	s.Values = append(s.Values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Final returns the last value (NaN-free only if non-empty).
+func (s *Series) Final() float64 {
+	if len(s.Values) == 0 {
+		panic("metrics: Final of empty series")
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Max returns the maximum value.
+func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		panic("metrics: Max of empty series")
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// At returns the value recorded for the given round, or the nearest
+// earlier round's value; ok is false if no point at or before round
+// exists.
+func (s *Series) At(round int) (float64, bool) {
+	best := -1
+	for i, r := range s.Rounds {
+		if r <= round {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return s.Values[best], true
+}
+
+// Table is a collection of series sharing a round axis, rendered as
+// aligned text or CSV.
+type Table struct {
+	Title  string
+	series []*Series
+}
+
+// NewTable constructs an empty table.
+func NewTable(title string) *Table { return &Table{Title: title} }
+
+// Add appends a series (or returns the existing one with that name).
+func (t *Table) Add(name string) *Series {
+	for _, s := range t.series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	t.series = append(t.series, s)
+	return s
+}
+
+// Series returns the table's series in insertion order.
+func (t *Table) Series() []*Series { return t.series }
+
+// rounds returns the sorted union of all round indices.
+func (t *Table) rounds() []int {
+	set := make(map[int]bool)
+	for _, s := range t.series {
+		for _, r := range s.Rounds {
+			set[r] = true
+		}
+	}
+	rounds := make([]int, 0, len(set))
+	for r := range set {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	return rounds
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	headers := []string{"round"}
+	for _, s := range t.series {
+		headers = append(headers, s.Name)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, r := range t.rounds() {
+		cells := []string{fmt.Sprintf("%d", r)}
+		for _, s := range t.series {
+			if containsRound(s.Rounds, r) {
+				v, _ := s.At(r)
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func containsRound(rounds []int, r int) bool {
+	for _, x := range rounds {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV renders the table as CSV with a round column.
+func (t *Table) WriteCSV(w io.Writer) error {
+	headers := []string{"round"}
+	for _, s := range t.series {
+		headers = append(headers, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.rounds() {
+		cells := []string{fmt.Sprintf("%d", r)}
+		for _, s := range t.series {
+			if containsRound(s.Rounds, r) {
+				v, _ := s.At(r)
+				cells = append(cells, fmt.Sprintf("%g", v))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a series as a compact unicode bar chart, useful for
+// terminal output of accuracy curves.
+func Sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// Smooth returns an exponentially smoothed copy of the series:
+// y_i = alpha*x_i + (1-alpha)*y_{i-1}, with alpha in (0, 1]. Useful for
+// rendering noisy accuracy curves.
+func (s *Series) Smooth(alpha float64) *Series {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: Smooth alpha must be in (0,1]")
+	}
+	out := &Series{Name: s.Name + "_smooth"}
+	prev := 0.0
+	for i, v := range s.Values {
+		if i == 0 {
+			prev = v
+		} else {
+			prev = alpha*v + (1-alpha)*prev
+		}
+		out.Append(s.Rounds[i], prev)
+	}
+	return out
+}

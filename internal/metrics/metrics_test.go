@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAppendAndAccessors(t *testing.T) {
+	var s Series
+	s.Append(0, 0.1)
+	s.Append(5, 0.5)
+	s.Append(10, 0.3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Final() != 0.3 {
+		t.Fatalf("Final = %v", s.Final())
+	}
+	if s.Max() != 0.5 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Append(2, 1.0)
+	s.Append(6, 2.0)
+	if _, ok := s.At(1); ok {
+		t.Fatal("At before first round must report !ok")
+	}
+	if v, ok := s.At(2); !ok || v != 1.0 {
+		t.Fatalf("At(2) = %v,%v", v, ok)
+	}
+	if v, _ := s.At(4); v != 1.0 {
+		t.Fatalf("At(4) = %v, want carry-forward 1.0", v)
+	}
+	if v, _ := s.At(100); v != 2.0 {
+		t.Fatalf("At(100) = %v", v)
+	}
+}
+
+func TestSeriesPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Series{}).Final()
+}
+
+func TestTableAddDedupes(t *testing.T) {
+	tbl := NewTable("x")
+	a := tbl.Add("fedms")
+	b := tbl.Add("fedms")
+	if a != b {
+		t.Fatal("Add must return the existing series")
+	}
+	if len(tbl.Series()) != 1 {
+		t.Fatalf("series count = %d", len(tbl.Series()))
+	}
+}
+
+func TestTableTextRendering(t *testing.T) {
+	tbl := NewTable("Fig X")
+	tbl.Add("a").Append(0, 0.5)
+	tbl.Add("a").Append(1, 0.75)
+	tbl.Add("b").Append(1, 0.25)
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "0.7500") {
+		t.Fatalf("text output missing content:\n%s", out)
+	}
+	// Round 0 has no value for b: rendered as "-".
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("missing placeholder in %q", lines[2])
+	}
+}
+
+func TestTableCSVRendering(t *testing.T) {
+	tbl := NewTable("")
+	tbl.Add("acc").Append(0, 0.5)
+	tbl.Add("acc").Append(2, 1)
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "round,acc\n0,0.5\n2,1\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1}, 0, 1)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline rune count %d", len([]rune(s)))
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[2] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	// Degenerate range must not panic or divide by zero.
+	s2 := Sparkline([]float64{1, 1}, 1, 1)
+	if len([]rune(s2)) != 2 {
+		t.Fatalf("degenerate sparkline %q", s2)
+	}
+	// Out-of-range values are clamped.
+	s3 := Sparkline([]float64{-5, 5}, 0, 1)
+	if []rune(s3)[0] != '▁' || []rune(s3)[1] != '█' {
+		t.Fatalf("clamped sparkline %q", s3)
+	}
+	if Sparkline(nil, 0, 1) != "" {
+		t.Fatal("empty input should render empty string")
+	}
+}
+
+func TestSeriesSmooth(t *testing.T) {
+	var s Series
+	s.Append(0, 0)
+	s.Append(1, 1)
+	s.Append(2, 1)
+	sm := s.Smooth(0.5)
+	if sm.Len() != 3 || sm.Values[0] != 0 {
+		t.Fatalf("smooth = %+v", sm)
+	}
+	// 0, 0.5, 0.75.
+	if sm.Values[1] != 0.5 || sm.Values[2] != 0.75 {
+		t.Fatalf("smooth values = %v", sm.Values)
+	}
+	if sm.Name != s.Name+"_smooth" {
+		t.Fatalf("name = %q", sm.Name)
+	}
+}
+
+func TestSeriesSmoothAlphaOneIdentity(t *testing.T) {
+	var s Series
+	s.Append(0, 0.3)
+	s.Append(5, 0.9)
+	sm := s.Smooth(1)
+	for i := range s.Values {
+		if sm.Values[i] != s.Values[i] {
+			t.Fatal("alpha=1 must be identity")
+		}
+	}
+}
+
+func TestSeriesSmoothPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Series{}).Smooth(0)
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, optionally clipped at a cap
+// (cap = 6 gives the ReLU6 used throughout MobileNet V2; cap <= 0 means
+// no clipping).
+type ReLU struct {
+	name string
+	cap  float64
+	mask []bool
+}
+
+// NewReLU returns an unclipped rectifier.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// NewReLU6 returns the ReLU6 activation min(max(x,0),6) used by
+// MobileNet V2.
+func NewReLU6(name string) *ReLU { return &ReLU{name: name, cap: 6} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	d := out.Data()
+	var mask []bool
+	if train {
+		mask = make([]bool, len(d))
+	}
+	for i, v := range d {
+		pass := v > 0 && (l.cap <= 0 || v < l.cap)
+		switch {
+		case v <= 0:
+			d[i] = 0
+		case l.cap > 0 && v >= l.cap:
+			d[i] = l.cap
+		}
+		if train {
+			mask[i] = pass
+		}
+	}
+	if train {
+		l.mask = mask
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.mask == nil {
+		panic("nn: ReLU.Backward before Forward(train)")
+	}
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	l.mask = nil
+	return out
+}
+
+// Dropout zeroes a fraction of activations during training and rescales
+// the survivors (inverted dropout). At evaluation time it is the
+// identity.
+type Dropout struct {
+	name string
+	rate float64
+	rng  *randx.RNG
+	mask []float64
+}
+
+// NewDropout constructs a dropout layer with the given drop rate in
+// [0, 1).
+func NewDropout(name string, rate float64, r *randx.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0,1)")
+	}
+	return &Dropout{name: name, rate: rate, rng: r}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if !train || l.rate == 0 {
+		l.mask = nil
+		return x
+	}
+	out := x.Clone()
+	d := out.Data()
+	keep := 1 - l.rate
+	mask := make([]float64, len(d))
+	for i := range d {
+		if l.rng.Float64() < keep {
+			mask[i] = 1 / keep
+		}
+		d[i] *= mask[i]
+	}
+	l.mask = mask
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		d[i] *= l.mask[i]
+	}
+	l.mask = nil
+	return out
+}
+
+// Flatten reshapes [N, ...] inputs to [N, features]. It is shape
+// bookkeeping only; gradients flow through unchanged.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if train {
+		l.lastShape = x.Shape()
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.lastShape == nil {
+		panic("nn: Flatten.Backward before Forward(train)")
+	}
+	out := grad.Reshape(l.lastShape...)
+	l.lastShape = nil
+	return out
+}

@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"math"
+
+	"fedms/internal/tensor"
+)
+
+// Sigmoid is the logistic activation 1/(1+e^{-x}).
+type Sigmoid struct {
+	name string
+	out  []float64
+}
+
+// NewSigmoid constructs a sigmoid activation.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (l *Sigmoid) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = 1 / (1 + math.Exp(-v))
+	}
+	if train {
+		l.out = append(l.out[:0], d...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Sigmoid) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.out == nil {
+		panic("nn: Sigmoid.Backward before Forward(train)")
+	}
+	dx := grad.Clone()
+	d := dx.Data()
+	for i := range d {
+		s := l.out[i]
+		d[i] *= s * (1 - s)
+	}
+	l.out = nil
+	return dx
+}
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	name string
+	out  []float64
+}
+
+// NewTanh constructs a tanh activation.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = math.Tanh(v)
+	}
+	if train {
+		l.out = append(l.out[:0], d...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.out == nil {
+		panic("nn: Tanh.Backward before Forward(train)")
+	}
+	dx := grad.Clone()
+	d := dx.Data()
+	for i := range d {
+		d[i] *= 1 - l.out[i]*l.out[i]
+	}
+	l.out = nil
+	return dx
+}
+
+// LeakyReLU passes positives and scales negatives by Alpha.
+type LeakyReLU struct {
+	name  string
+	alpha float64
+	mask  []bool
+}
+
+// NewLeakyReLU constructs a leaky rectifier (alpha defaults to 0.01
+// when zero).
+func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{name: name, alpha: alpha}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	d := out.Data()
+	var mask []bool
+	if train {
+		mask = make([]bool, len(d))
+	}
+	for i, v := range d {
+		pos := v > 0
+		if !pos {
+			d[i] = l.alpha * v
+		}
+		if train {
+			mask[i] = pos
+		}
+	}
+	if train {
+		l.mask = mask
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.mask == nil {
+		panic("nn: LeakyReLU.Backward before Forward(train)")
+	}
+	dx := grad.Clone()
+	d := dx.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] *= l.alpha
+		}
+	}
+	l.mask = nil
+	return dx
+}
+
+// LayerNorm normalizes each sample's feature vector to zero mean and
+// unit variance and applies a learned affine transform. Operates on
+// [N, D] inputs.
+type LayerNorm struct {
+	name string
+	dim  int
+	eps  float64
+
+	gamma *Param
+	beta  *Param
+
+	xhat   []float64
+	invStd []float64
+	rows   int
+}
+
+// NewLayerNorm constructs a layer-norm over feature dimension dim.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		name:  name,
+		dim:   dim,
+		eps:   1e-5,
+		gamma: newParam(name+".gamma", tensor.Full(1, dim), true),
+		beta:  newParam(name+".beta", tensor.New(dim), true),
+	}
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.gamma, l.beta} }
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	x = as2D(x, l.dim, l.name)
+	n := x.Dim(0)
+	out := tensor.New(n, l.dim)
+	g, b := l.gamma.Value.Data(), l.beta.Value.Data()
+	var xhat, invStd []float64
+	if train {
+		xhat = make([]float64, n*l.dim)
+		invStd = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.dim)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(l.dim)
+		is := 1 / math.Sqrt(variance+l.eps)
+		dst := out.Row(i)
+		for j, v := range row {
+			xh := (v - mean) * is
+			dst[j] = g[j]*xh + b[j]
+			if train {
+				xhat[i*l.dim+j] = xh
+			}
+		}
+		if train {
+			invStd[i] = is
+		}
+	}
+	if train {
+		l.xhat, l.invStd, l.rows = xhat, invStd, n
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.xhat == nil {
+		panic("nn: LayerNorm.Backward before Forward(train)")
+	}
+	n := l.rows
+	dx := tensor.New(n, l.dim)
+	g := l.gamma.Value.Data()
+	dg, db := l.gamma.Grad.Data(), l.beta.Grad.Data()
+	dd := float64(l.dim)
+	for i := 0; i < n; i++ {
+		grow := grad.Row(i)
+		var sumG, sumGX float64
+		for j, gv := range grow {
+			xh := l.xhat[i*l.dim+j]
+			dg[j] += gv * xh
+			db[j] += gv
+			gg := gv * g[j]
+			sumG += gg
+			sumGX += gg * xh
+		}
+		drow := dx.Row(i)
+		for j, gv := range grow {
+			xh := l.xhat[i*l.dim+j]
+			gg := gv * g[j]
+			drow[j] = l.invStd[i] / dd * (dd*gg - sumG - xh*sumGX)
+		}
+	}
+	l.xhat, l.invStd = nil, nil
+	return dx
+}

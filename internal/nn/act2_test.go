@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+func TestSigmoidValues(t *testing.T) {
+	l := NewSigmoid("sig")
+	out := l.Forward(tensor.FromSlice([]float64{0, 100, -100}, 1, 3), false)
+	if math.Abs(out.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", out.At(0, 0))
+	}
+	if out.At(0, 1) < 0.999 || out.At(0, 2) > 0.001 {
+		t.Fatalf("sigmoid saturation wrong: %v", out)
+	}
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	r := randx.New(70)
+	checkGradients(t, NewSigmoid("sig"), randInput(r, 3, 8), randLabels(r, 3, 8), 1e-4)
+}
+
+func TestTanhValues(t *testing.T) {
+	l := NewTanh("tanh")
+	out := l.Forward(tensor.FromSlice([]float64{0, 2}, 1, 2), false)
+	if out.At(0, 0) != 0 || math.Abs(out.At(0, 1)-math.Tanh(2)) > 1e-12 {
+		t.Fatalf("tanh values wrong: %v", out)
+	}
+}
+
+func TestTanhGradients(t *testing.T) {
+	r := randx.New(71)
+	checkGradients(t, NewTanh("tanh"), randInput(r, 3, 8), randLabels(r, 3, 8), 1e-4)
+}
+
+func TestLeakyReLUValues(t *testing.T) {
+	l := NewLeakyReLU("lrelu", 0.1)
+	out := l.Forward(tensor.FromSlice([]float64{2, -2}, 1, 2), false)
+	if out.At(0, 0) != 2 || math.Abs(out.At(0, 1)-(-0.2)) > 1e-12 {
+		t.Fatalf("leaky relu values: %v", out)
+	}
+}
+
+func TestLeakyReLUDefaultAlpha(t *testing.T) {
+	l := NewLeakyReLU("lrelu", 0)
+	if l.alpha != 0.01 {
+		t.Fatalf("default alpha = %v", l.alpha)
+	}
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	r := randx.New(72)
+	x := randInput(r, 3, 8)
+	x.Apply(func(v float64) float64 {
+		if math.Abs(v) < 0.1 {
+			return v + 0.2 // keep away from the kink
+		}
+		return v
+	})
+	checkGradients(t, NewLeakyReLU("lrelu", 0.1), x, randLabels(r, 3, 8), 1e-4)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	r := randx.New(73)
+	l := NewLayerNorm("ln", 16)
+	x := randInput(r, 4, 16)
+	x.Scale(5)
+	x.AddScalar(3)
+	out := l.Forward(x, false)
+	for i := 0; i < 4; i++ {
+		row := out.Row(i)
+		mean, sq := 0.0, 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 16
+		for _, v := range row {
+			d := v - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / 16)
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-3 {
+			t.Fatalf("row %d mean=%v std=%v", i, mean, std)
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	r := randx.New(74)
+	l := NewLayerNorm("ln", 6)
+	l.gamma.Value.FillUniform(r, 0.5, 1.5)
+	l.beta.Value.FillUniform(r, -0.5, 0.5)
+	checkGradients(t, l, randInput(r, 4, 6), randLabels(r, 4, 6), 1e-3)
+}
+
+func TestLayerNormInNetwork(t *testing.T) {
+	r := randx.New(75)
+	net := NewNetwork(NewSequential("net",
+		NewDense("fc1", 8, 16, r),
+		NewLayerNorm("ln", 16),
+		NewReLU("relu"),
+		NewDense("fc2", 16, 3, r),
+	), SoftmaxCrossEntropy{})
+	x := randInput(r, 12, 8)
+	labels := randLabels(r, 12, 3)
+	opt := NewSGD(0.9, 0)
+	first, last := -1.0, 0.0
+	for i := 0; i < 120; i++ {
+		net.ZeroGrads()
+		loss := net.TrainBatch(x, labels)
+		opt.Step(net.Params(), 0.05)
+		if first < 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first/3 {
+		t.Fatalf("LayerNorm network failed to train: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,72 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) with optional
+// decoupled weight decay (AdamW when WeightDecay > 0). Provided as a
+// library convenience; the paper's analysis assumes plain SGD.
+type Adam struct {
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m    map[*Param][]float64
+	v    map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with the standard defaults
+// β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(weightDecay float64) *Adam {
+	return &Adam{
+		Beta1:       0.9,
+		Beta2:       0.999,
+		Eps:         1e-8,
+		WeightDecay: weightDecay,
+		m:           make(map[*Param][]float64),
+		v:           make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update with the given learning rate, consuming
+// the accumulated gradients of trainable parameters.
+func (a *Adam) Step(params []*Param, lr float64) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		if !p.Trainable {
+			continue
+		}
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		m := a.m[p]
+		if m == nil {
+			m = make([]float64, len(w))
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = make([]float64, len(w))
+			a.v[p] = v
+		}
+		for i := range w {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			w[i] -= lr * mhat / (math.Sqrt(vhat) + a.Eps)
+			if a.WeightDecay != 0 {
+				w[i] -= lr * a.WeightDecay * w[i]
+			}
+		}
+	}
+}
+
+// Reset clears all moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.step = 0
+	a.m = make(map[*Param][]float64)
+	a.v = make(map[*Param][]float64)
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedms/internal/randx"
+	"fedms/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [N, C, H, W] inputs with symmetric
+// zero padding and optional channel groups. groups == 1 is a standard
+// convolution; groups == inC with outC == inC is the depthwise
+// convolution used by MobileNet V2.
+type Conv2D struct {
+	name    string
+	inC     int
+	outC    int
+	kh, kw  int
+	stride  int
+	pad     int
+	groups  int
+	useBias bool
+
+	w *Param // [outC, inC/groups * kh * kw]
+	b *Param // [outC], nil when useBias is false
+
+	lastX *tensor.Dense
+}
+
+// ConvOpts configures optional Conv2D behaviour.
+type ConvOpts struct {
+	Stride int  // default 1
+	Pad    int  // default 0
+	Groups int  // default 1
+	NoBias bool // convolutions followed by batch norm typically skip bias
+}
+
+// NewConv2D constructs a convolution layer with He-normal initialization.
+func NewConv2D(name string, inC, outC, kernel int, opts ConvOpts, r *randx.RNG) *Conv2D {
+	if opts.Stride == 0 {
+		opts.Stride = 1
+	}
+	if opts.Groups == 0 {
+		opts.Groups = 1
+	}
+	if inC%opts.Groups != 0 || outC%opts.Groups != 0 {
+		panic(fmt.Sprintf("nn: %s: channels (%d in, %d out) not divisible by groups %d", name, inC, outC, opts.Groups))
+	}
+	fanIn := (inC / opts.Groups) * kernel * kernel
+	w := tensor.New(outC, fanIn)
+	w.FillNormal(r, 0, math.Sqrt(2.0/float64(fanIn)))
+	c := &Conv2D{
+		name:    name,
+		inC:     inC,
+		outC:    outC,
+		kh:      kernel,
+		kw:      kernel,
+		stride:  opts.Stride,
+		pad:     opts.Pad,
+		groups:  opts.Groups,
+		useBias: !opts.NoBias,
+		w:       newParam(name+".w", w, true),
+	}
+	if c.useBias {
+		c.b = newParam(name+".b", tensor.New(outC), true)
+	}
+	return c
+}
+
+// NewDepthwiseConv2D constructs the depthwise (groups == channels)
+// convolution used inside inverted residual blocks.
+func NewDepthwiseConv2D(name string, channels, kernel int, stride, pad int, r *randx.RNG) *Conv2D {
+	return NewConv2D(name, channels, channels, kernel, ConvOpts{
+		Stride: stride,
+		Pad:    pad,
+		Groups: channels,
+		NoBias: true,
+	}, r)
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.b != nil {
+		return []*Param{c.w, c.b}
+	}
+	return []*Param{c.w}
+}
+
+// OutShape returns the output spatial dimensions for an input of h×w.
+func (c *Conv2D) OutShape(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, c.kh, c.stride, c.pad), tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", c.name, c.inC, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.OutShape(h, w)
+	l := outH * outW
+	inCg := c.inC / c.groups
+	outCg := c.outC / c.groups
+	patch := inCg * c.kh * c.kw
+
+	out := tensor.New(n, c.outC, outH, outW)
+	cols := make([]float64, patch*l)
+	xd := x.Data()
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		img := xd[i*c.inC*h*w : (i+1)*c.inC*h*w]
+		dst := od[i*c.outC*l : (i+1)*c.outC*l]
+		for g := 0; g < c.groups; g++ {
+			src := img[g*inCg*h*w : (g+1)*inCg*h*w]
+			tensor.Im2Col(src, inCg, h, w, c.kh, c.kw, c.stride, c.pad, cols)
+			wBlock := c.w.Value.Data()[g*outCg*patch : (g+1)*outCg*patch]
+			tensor.Gemm(dst[g*outCg*l:(g+1)*outCg*l], wBlock, cols, outCg, l, patch)
+		}
+		if c.useBias {
+			bias := c.b.Value.Data()
+			for ch := 0; ch < c.outC; ch++ {
+				plane := dst[ch*l : (ch+1)*l]
+				bv := bias[ch]
+				for j := range plane {
+					plane[j] += bv
+				}
+			}
+		}
+	}
+	if train {
+		c.lastX = x
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	if c.lastX == nil {
+		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", c.name))
+	}
+	x := c.lastX
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.OutShape(h, w)
+	l := outH * outW
+	inCg := c.inC / c.groups
+	outCg := c.outC / c.groups
+	patch := inCg * c.kh * c.kw
+
+	dx := tensor.New(x.Shape()...)
+	cols := make([]float64, patch*l)
+	dcols := make([]float64, patch*l)
+	scatter := make([]float64, inCg*h*w)
+
+	xd := x.Data()
+	gd := grad.Data()
+	dxd := dx.Data()
+	wv := c.w.Value.Data()
+	wg := c.w.Grad.Data()
+
+	for i := 0; i < n; i++ {
+		img := xd[i*c.inC*h*w : (i+1)*c.inC*h*w]
+		g := gd[i*c.outC*l : (i+1)*c.outC*l]
+		dimg := dxd[i*c.inC*h*w : (i+1)*c.inC*h*w]
+		for grp := 0; grp < c.groups; grp++ {
+			src := img[grp*inCg*h*w : (grp+1)*inCg*h*w]
+			tensor.Im2Col(src, inCg, h, w, c.kh, c.kw, c.stride, c.pad, cols)
+			gBlock := g[grp*outCg*l : (grp+1)*outCg*l]
+
+			// dW[g] += gBlock · colsᵀ  — implemented as accumulating
+			// gemm over the transposed cols.
+			colsT := transposeFlat(cols, patch, l)
+			tensor.GemmAcc(wg[grp*outCg*patch:(grp+1)*outCg*patch], gBlock, colsT, outCg, patch, l)
+
+			// dcols = W[g]ᵀ · gBlock
+			wT := transposeFlat(wv[grp*outCg*patch:(grp+1)*outCg*patch], outCg, patch)
+			tensor.Gemm(dcols, wT, gBlock, patch, l, outCg)
+			tensor.Col2Im(dcols, inCg, h, w, c.kh, c.kw, c.stride, c.pad, scatter)
+			tensor.VecAdd(dimg[grp*inCg*h*w:(grp+1)*inCg*h*w], scatter)
+		}
+		if c.useBias {
+			bg := c.b.Grad.Data()
+			for ch := 0; ch < c.outC; ch++ {
+				plane := g[ch*l : (ch+1)*l]
+				s := 0.0
+				for _, v := range plane {
+					s += v
+				}
+				bg[ch] += s
+			}
+		}
+	}
+	c.lastX = nil
+	return dx
+}
+
+// transposeFlat transposes an m×n row-major flat matrix into a new
+// buffer.
+func transposeFlat(a []float64, m, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			out[j*m+i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package nn is a from-scratch neural-network library built on
+// internal/tensor. It provides the layers needed for the paper's training
+// model (MobileNet V2: pointwise/depthwise convolutions, batch
+// normalization, ReLU6, inverted residual blocks) plus the compact models
+// used by the long federated sweeps, softmax cross-entropy training, SGD,
+// and the parameter flatten/unflatten bridge that connects models to the
+// aggregation and attack layers of Fed-MS.
+//
+// The library uses explicit layer-wise backpropagation: each Layer caches
+// what it needs during Forward and produces input gradients during
+// Backward. There is no tape; the composition order of Sequential defines
+// the graph.
+package nn
+
+import "fedms/internal/tensor"
+
+// Param is one learnable (or stateful) tensor of a layer.
+//
+// Trainable parameters receive gradients and are updated by optimizers.
+// Non-trainable parameters (batch-norm running statistics) carry model
+// state that must still travel with the model during federated
+// aggregation, so they are included in Flatten/SetFlat but skipped by
+// optimizers.
+type Param struct {
+	Name      string
+	Value     *tensor.Dense
+	Grad      *tensor.Dense
+	Trainable bool
+}
+
+func newParam(name string, value *tensor.Dense, trainable bool) *Param {
+	return &Param{
+		Name:      name,
+		Value:     value,
+		Grad:      tensor.New(value.Shape()...),
+		Trainable: trainable,
+	}
+}
+
+// ZeroGrad clears the parameter's gradient buffer.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes a batch and returns the layer output; with train=true
+// the layer caches whatever Backward will need and updates training-time
+// state (batch-norm statistics, dropout masks). Backward consumes the
+// gradient of the loss with respect to the layer output, accumulates
+// parameter gradients, and returns the gradient with respect to the layer
+// input. Backward must be called at most once per Forward(train=true).
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Dense, train bool) *tensor.Dense
+	Backward(grad *tensor.Dense) *tensor.Dense
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of all parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar elements across params
+// (trainable and state alike).
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// FlattenParams serializes all parameter values into a single vector, in layer
+// order. This vector is the unit of exchange in Fed-MS: it is what a
+// client uploads, what a parameter server averages, what a Byzantine PS
+// tampers with, and what the trimmed-mean filter operates on.
+func FlattenParams(params []*Param) []float64 {
+	out := make([]float64, NumParams(params))
+	FlattenInto(params, out)
+	return out
+}
+
+// FlattenInto writes all parameter values into dst, which must have
+// length NumParams(params).
+func FlattenInto(params []*Param, dst []float64) {
+	off := 0
+	for _, p := range params {
+		n := copy(dst[off:], p.Value.Data())
+		off += n
+	}
+	if off != len(dst) {
+		panic("nn: FlattenInto destination length mismatch")
+	}
+}
+
+// SetFlat copies a flat vector produced by Flatten back into the
+// parameter tensors.
+func SetFlat(params []*Param, flat []float64) {
+	if len(flat) != NumParams(params) {
+		panic("nn: SetFlat length mismatch")
+	}
+	off := 0
+	for _, p := range params {
+		d := p.Value.Data()
+		copy(d, flat[off:off+len(d)])
+		off += len(d)
+	}
+}

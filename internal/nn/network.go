@@ -1,0 +1,87 @@
+package nn
+
+import "fedms/internal/tensor"
+
+// Network couples a layer graph with a loss function and caches the
+// parameter list. It is the trainable unit held by each Fed-MS client.
+type Network struct {
+	body   Layer
+	loss   Loss
+	params []*Param
+}
+
+// NewNetwork constructs a network from a body layer (usually a
+// Sequential) and a loss.
+func NewNetwork(body Layer, loss Loss) *Network {
+	return &Network{body: body, loss: loss, params: body.Params()}
+}
+
+// Params returns the network's parameters in stable order.
+func (n *Network) Params() []*Param { return n.params }
+
+// NumParams returns the total scalar parameter count (including
+// batch-norm state).
+func (n *Network) NumParams() int { return NumParams(n.params) }
+
+// Forward runs the network on a batch.
+func (n *Network) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	return n.body.Forward(x, train)
+}
+
+// TrainBatch runs one forward/backward pass on a batch, leaving
+// gradients accumulated in the parameters, and returns the batch loss.
+// Callers zero gradients (ZeroGrads) and step an optimizer around it.
+func (n *Network) TrainBatch(x *tensor.Dense, labels []int) float64 {
+	out := n.body.Forward(x, true)
+	loss, grad := n.loss.Forward(out, labels)
+	n.body.Backward(grad)
+	return loss
+}
+
+// EvalBatch returns the loss and number of correct top-1 predictions on
+// a batch without touching gradients or training-time state.
+func (n *Network) EvalBatch(x *tensor.Dense, labels []int) (loss float64, correct int) {
+	out := n.body.Forward(x, false)
+	loss, _ = n.loss.Forward(out, labels)
+	classes := out.Dim(1)
+	for i := 0; i < out.Dim(0); i++ {
+		row := out.Row(i)
+		best, arg := row[0], 0
+		for j := 1; j < classes; j++ {
+			if row[j] > best {
+				best, arg = row[j], j
+			}
+		}
+		if arg == labels[i] {
+			correct++
+		}
+	}
+	return loss, correct
+}
+
+// Predict returns the top-1 class per sample.
+func (n *Network) Predict(x *tensor.Dense) []int {
+	out := n.body.Forward(x, false)
+	classes := out.Dim(1)
+	preds := make([]int, out.Dim(0))
+	for i := range preds {
+		row := out.Row(i)
+		best, arg := row[0], 0
+		for j := 1; j < classes; j++ {
+			if row[j] > best {
+				best, arg = row[j], j
+			}
+		}
+		preds[i] = arg
+	}
+	return preds
+}
+
+// FlatParams returns the network parameters as one flat vector.
+func (n *Network) FlatParams() []float64 { return FlattenParams(n.params) }
+
+// SetFlatParams loads a flat vector into the network parameters.
+func (n *Network) SetFlatParams(flat []float64) { SetFlat(n.params, flat) }
+
+// ZeroGrads clears all parameter gradients.
+func (n *Network) ZeroGrads() { ZeroGrads(n.params) }

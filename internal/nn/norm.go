@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedms/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of a [N, C, H, W] batch to zero
+// mean and unit variance, then applies a learned affine transform. At
+// evaluation time it uses exponentially averaged running statistics.
+//
+// gamma and beta are trainable; the running mean/variance are
+// non-trainable state that still participates in federated parameter
+// exchange (see Param.Trainable).
+type BatchNorm2D struct {
+	name     string
+	channels int
+	eps      float64
+	momentum float64
+
+	gamma   *Param
+	beta    *Param
+	runMean *Param
+	runVar  *Param
+
+	// Forward caches for Backward.
+	xhat   []float64
+	invStd []float64
+	shape  []int
+}
+
+// NewBatchNorm2D constructs a batch-norm layer with gamma=1, beta=0,
+// running mean 0 and running variance 1.
+func NewBatchNorm2D(name string, channels int) *BatchNorm2D {
+	return &BatchNorm2D{
+		name:     name,
+		channels: channels,
+		eps:      1e-5,
+		momentum: 0.1,
+		gamma:    newParam(name+".gamma", tensor.Full(1, channels), true),
+		beta:     newParam(name+".beta", tensor.New(channels), true),
+		runMean:  newParam(name+".run_mean", tensor.New(channels), false),
+		runVar:   newParam(name+".run_var", tensor.Full(1, channels), false),
+	}
+}
+
+// Name implements Layer.
+func (l *BatchNorm2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *BatchNorm2D) Params() []*Param {
+	return []*Param{l.gamma, l.beta, l.runMean, l.runVar}
+}
+
+// Forward implements Layer.
+func (l *BatchNorm2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.Rank() != 4 || x.Dim(1) != l.channels {
+		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", l.name, l.channels, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	plane := h * w
+	m := float64(n * plane)
+
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	gamma, beta := l.gamma.Value.Data(), l.beta.Value.Data()
+
+	var xhat, invStd []float64
+	if train {
+		xhat = make([]float64, len(xd))
+		invStd = make([]float64, c)
+	}
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			// Batch statistics over N×H×W for this channel.
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					sum += xd[base+j]
+				}
+			}
+			mean = sum / m
+			sq := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					d := xd[base+j] - mean
+					sq += d * d
+				}
+			}
+			variance = sq / m
+			rm, rv := l.runMean.Value.Data(), l.runVar.Value.Data()
+			rm[ch] = (1-l.momentum)*rm[ch] + l.momentum*mean
+			rv[ch] = (1-l.momentum)*rv[ch] + l.momentum*variance
+		} else {
+			mean = l.runMean.Value.Data()[ch]
+			variance = l.runVar.Value.Data()[ch]
+		}
+		is := 1 / math.Sqrt(variance+l.eps)
+		g, b := gamma[ch], beta[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xh := (xd[base+j] - mean) * is
+				od[base+j] = g*xh + b
+				if train {
+					xhat[base+j] = xh
+				}
+			}
+		}
+		if train {
+			invStd[ch] = is
+		}
+	}
+	if train {
+		l.xhat, l.invStd, l.shape = xhat, invStd, x.Shape()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *BatchNorm2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.xhat == nil {
+		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
+	}
+	n, c, h, w := l.shape[0], l.shape[1], l.shape[2], l.shape[3]
+	plane := h * w
+	m := float64(n * plane)
+
+	dx := tensor.New(l.shape...)
+	gd, dxd := grad.Data(), dx.Data()
+	gamma := l.gamma.Value.Data()
+	dgamma, dbeta := l.gamma.Grad.Data(), l.beta.Grad.Data()
+
+	for ch := 0; ch < c; ch++ {
+		var sumG, sumGX float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				g := gd[base+j]
+				sumG += g
+				sumGX += g * l.xhat[base+j]
+			}
+		}
+		dgamma[ch] += sumGX
+		dbeta[ch] += sumG
+
+		scale := gamma[ch] * l.invStd[ch] / m
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				g := gd[base+j]
+				dxd[base+j] = scale * (m*g - sumG - l.xhat[base+j]*sumGX)
+			}
+		}
+	}
+	l.xhat, l.invStd, l.shape = nil, nil, nil
+	return dx
+}

@@ -1,0 +1,134 @@
+package nn
+
+import "math"
+
+// Schedule yields the learning rate for a given global SGD step index.
+// The paper's convergence theory uses the inverse-decay schedule
+// η_t = φ/(γ+t); practice commonly uses a constant rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// InverseDecayLR is the η_t = Phi/(Gamma+t) schedule from Theorem 1
+// (φ = 2/μ, γ = max(8L/μ, E)).
+type InverseDecayLR struct {
+	Phi   float64
+	Gamma float64
+}
+
+// LR implements Schedule.
+func (s InverseDecayLR) LR(step int) float64 {
+	return s.Phi / (s.Gamma + float64(step))
+}
+
+// StepDecayLR multiplies Base by Factor every Every steps.
+type StepDecayLR struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR implements Schedule.
+func (s StepDecayLR) LR(step int) float64 {
+	lr := s.Base
+	for i := s.Every; i <= step; i += s.Every {
+		lr *= s.Factor
+	}
+	return lr
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay. Velocity buffers are keyed per parameter, so one optimizer
+// instance must stay attached to one model.
+type SGD struct {
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(momentum, weightDecay float64) *SGD {
+	return &SGD{
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		velocity:    make(map[*Param][]float64),
+	}
+}
+
+// Step applies one update with the given learning rate to every
+// trainable parameter, consuming the accumulated gradients.
+func (s *SGD) Step(params []*Param, lr float64) {
+	for _, p := range params {
+		if !p.Trainable {
+			continue
+		}
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		if s.WeightDecay != 0 {
+			for i := range g {
+				g[i] += s.WeightDecay * w[i]
+			}
+		}
+		if s.Momentum != 0 {
+			v := s.velocity[p]
+			if v == nil {
+				v = make([]float64, len(w))
+				s.velocity[p] = v
+			}
+			for i := range w {
+				v[i] = s.Momentum*v[i] + g[i]
+				w[i] -= lr * v[i]
+			}
+		} else {
+			for i := range w {
+				w[i] -= lr * g[i]
+			}
+		}
+	}
+}
+
+// Reset clears momentum state. Fed-MS clients reset their optimizer at
+// the start of each round since the filtered global model restarts local
+// training.
+func (s *SGD) Reset() {
+	s.velocity = make(map[*Param][]float64)
+}
+
+// ClipGradNorm rescales all trainable-parameter gradients so their
+// global L2 norm is at most maxNorm, returning the pre-clip norm.
+// Standard practice for stabilizing federated local training.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic("nn: ClipGradNorm needs positive maxNorm")
+	}
+	total := 0.0
+	for _, p := range params {
+		if !p.Trainable {
+			continue
+		}
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if !p.Trainable {
+				continue
+			}
+			d := p.Grad.Data()
+			for i := range d {
+				d[i] *= scale
+			}
+		}
+	}
+	return norm
+}

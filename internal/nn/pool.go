@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedms/internal/tensor"
+)
+
+// MaxPool2D applies max pooling over [N, C, H, W] inputs.
+type MaxPool2D struct {
+	name   string
+	kernel int
+	stride int
+
+	argmax []int
+	shape  []int
+}
+
+// NewMaxPool2D constructs a max pooling layer. stride defaults to kernel
+// when zero.
+func NewMaxPool2D(name string, kernel, stride int) *MaxPool2D {
+	if stride == 0 {
+		stride = kernel
+	}
+	return &MaxPool2D{name: name, kernel: kernel, stride: stride}
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects rank-4 input, got %v", l.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := tensor.ConvOutSize(h, l.kernel, l.stride, 0)
+	outW := tensor.ConvOutSize(w, l.kernel, l.stride, 0)
+	out := tensor.New(n, c, outH, outW)
+	xd, od := x.Data(), out.Data()
+	var argmax []int
+	if train {
+		argmax = make([]int, out.Len())
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := math.Inf(-1)
+					bestAt := -1
+					for ky := 0; ky < l.kernel; ky++ {
+						iy := oy*l.stride + ky
+						if iy >= h {
+							break
+						}
+						for kx := 0; kx < l.kernel; kx++ {
+							ix := ox*l.stride + kx
+							if ix >= w {
+								break
+							}
+							at := base + iy*w + ix
+							if xd[at] > best {
+								best, bestAt = xd[at], at
+							}
+						}
+					}
+					od[idx] = best
+					if train {
+						argmax[idx] = bestAt
+					}
+					idx++
+				}
+			}
+		}
+	}
+	if train {
+		l.argmax, l.shape = argmax, x.Shape()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.argmax == nil {
+		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
+	}
+	dx := tensor.New(l.shape...)
+	dxd, gd := dx.Data(), grad.Data()
+	for i, at := range l.argmax {
+		dxd[at] += gd[i]
+	}
+	l.argmax, l.shape = nil, nil
+	return dx
+}
+
+// GlobalAvgPool2D averages each channel's spatial plane, mapping
+// [N, C, H, W] to [N, C]. MobileNet V2 uses this before its classifier.
+type GlobalAvgPool2D struct {
+	name  string
+	shape []int
+}
+
+// NewGlobalAvgPool2D constructs a global average pooling layer.
+func NewGlobalAvgPool2D(name string) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{name: name}
+}
+
+// Name implements Layer.
+func (l *GlobalAvgPool2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects rank-4 input, got %v", l.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	plane := h * w
+	out := tensor.New(n, c)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * plane
+			s := 0.0
+			for j := 0; j < plane; j++ {
+				s += xd[base+j]
+			}
+			od[i*c+ch] = s / float64(plane)
+		}
+	}
+	if train {
+		l.shape = x.Shape()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	if l.shape == nil {
+		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
+	}
+	n, c, h, w := l.shape[0], l.shape[1], l.shape[2], l.shape[3]
+	plane := h * w
+	dx := tensor.New(l.shape...)
+	dxd, gd := dx.Data(), grad.Data()
+	inv := 1 / float64(plane)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := gd[i*c+ch] * inv
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dxd[base+j] = g
+			}
+		}
+	}
+	l.shape = nil
+	return dx
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Summary writes a human-readable table of the network's layers:
+// name, parameter tensors, trainable and state element counts.
+func Summary(w io.Writer, n *Network) error {
+	type row struct {
+		name            string
+		tensors         int
+		trainable, rest int
+	}
+	var rows []row
+	totalTrainable, totalState := 0, 0
+
+	walk(n.body, func(l Layer) {
+		r := row{name: l.Name()}
+		for _, p := range l.Params() {
+			r.tensors++
+			if p.Trainable {
+				r.trainable += p.Value.Len()
+			} else {
+				r.rest += p.Value.Len()
+			}
+		}
+		totalTrainable += r.trainable
+		totalState += r.rest
+		rows = append(rows, r)
+	})
+
+	width := len("layer")
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %8s  %10s  %8s\n", width, "layer", "tensors", "trainable", "state"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", width+32)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %8d  %10d  %8d\n", width, r.name, r.tensors, r.trainable, r.rest); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d trainable + %d state = %d parameters\n",
+		totalTrainable, totalState, totalTrainable+totalState)
+	return err
+}
+
+// walk visits leaf layers depth-first, flattening Sequential and
+// Residual containers.
+func walk(l Layer, visit func(Layer)) {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers() {
+			walk(inner, visit)
+		}
+	case *Residual:
+		walk(v.inner, visit)
+	default:
+		visit(l)
+	}
+}
+
+// CountLayers returns the number of leaf layers in the network.
+func CountLayers(n *Network) int {
+	count := 0
+	walk(n.body, func(Layer) { count++ })
+	return count
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSummaryMLP(t *testing.T) {
+	net := NewMLP(MLPConfig{In: 4, Hidden: []int{8}, NumClasses: 3, Seed: 1})
+	var sb strings.Builder
+	if err := Summary(&sb, net); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// fc0: 4*8+8 = 40 trainable; out: 8*3+3 = 27.
+	if !strings.Contains(out, "fc0") || !strings.Contains(out, "out") {
+		t.Fatalf("layer names missing:\n%s", out)
+	}
+	wantTotal := "total: " + strconv.Itoa(net.NumParams())
+	if !strings.Contains(out, wantTotal) {
+		t.Fatalf("summary total mismatch, want %q in:\n%s", wantTotal, out)
+	}
+}
+
+func TestSummarySplitsTrainableAndState(t *testing.T) {
+	net := NewSmallCNN(SmallCNNConfig{NumClasses: 2, InChannels: 1, Resolution: 8, Seed: 1})
+	var sb strings.Builder
+	if err := Summary(&sb, net); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Batch-norm layers carry non-trainable running stats.
+	if !strings.Contains(out, "state") {
+		t.Fatalf("missing state column:\n%s", out)
+	}
+	trainable := 0
+	state := 0
+	for _, p := range net.Params() {
+		if p.Trainable {
+			trainable += p.Value.Len()
+		} else {
+			state += p.Value.Len()
+		}
+	}
+	if state == 0 {
+		t.Fatal("CNN should have batch-norm state")
+	}
+	if !strings.Contains(out, strconv.Itoa(trainable)+" trainable") {
+		t.Fatalf("trainable total missing:\n%s", out)
+	}
+}
+
+func TestCountLayersFlattensContainers(t *testing.T) {
+	net := NewMobileNetV2(MobileNetV2Config{
+		NumClasses: 2, InChannels: 3, Resolution: 16, WidthMult: 0.1, Seed: 1,
+	})
+	n := CountLayers(net)
+	// Stem (3) + 17 inverted-residual blocks (5 or 8 leaves each) +
+	// head (5): far more than the top-level container count.
+	if n < 60 {
+		t.Fatalf("CountLayers = %d — containers not flattened?", n)
+	}
+}

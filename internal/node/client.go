@@ -1,0 +1,175 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/core"
+	"fedms/internal/nn"
+	"fedms/internal/transport"
+)
+
+// ClientConfig configures one federated client node.
+type ClientConfig struct {
+	// ID is the client index in [0, K).
+	ID int
+	// Learner is the client's local trainable state.
+	Learner core.Learner
+	// Servers lists PS addresses indexed by server id.
+	Servers []string
+	// Rounds and LocalSteps mirror the core.Config fields T and E.
+	Rounds     int
+	LocalSteps int
+	// FullUpload sends the model to every PS instead of one random PS.
+	FullUpload bool
+	// UploadAttack, when non-nil, makes this client Byzantine: it
+	// trains honestly but uploads the tampered model (the two-sided
+	// threat model; see core.Config.ClientAttack).
+	UploadAttack attack.UploadAttack
+	// Filter is the client-side defence (TrimmedMean for Fed-MS).
+	Filter aggregate.Rule
+	// Schedule is the learning-rate schedule.
+	Schedule nn.Schedule
+	// Seed is the shared experiment seed (drives the upload choice).
+	Seed uint64
+	// Key, when non-empty, enables per-frame HMAC authentication; it
+	// must match the servers' key.
+	Key []byte
+	// Timeout bounds each frame send/receive.
+	Timeout time.Duration
+	// EvalEvery, if positive, evaluates the learner every that many
+	// rounds and records the result in the returned stats.
+	EvalEvery int
+}
+
+// ClientRoundStats records one round as seen by a client node.
+type ClientRoundStats struct {
+	Round     int
+	TrainLoss float64
+	TestLoss  float64
+	TestAcc   float64
+	Evaluated bool
+	// UploadedTo is the PS that received this client's model (-1 for
+	// full upload).
+	UploadedTo int
+}
+
+// RunClient executes the client side of the protocol to completion and
+// returns per-round statistics.
+func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
+	if cfg.Learner == nil || cfg.Filter == nil || cfg.Schedule == nil {
+		return nil, fmt.Errorf("node: client %d missing learner, filter or schedule", cfg.ID)
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("node: client %d has no servers", cfg.ID)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+
+	p := len(cfg.Servers)
+	conns := make([]*transport.Conn, p)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	w0 := cfg.Learner.Params()
+	for i, addr := range cfg.Servers {
+		conn, err := transport.Dial(addr, cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("node: client %d: %w", cfg.ID, err)
+		}
+		conn.SetKey(cfg.Key)
+		conns[i] = conn
+		hello := &transport.Message{
+			Type:   transport.TypeHello,
+			Sender: uint32(cfg.ID),
+			Flag:   uint32(cfg.ID),
+			Vec:    w0,
+		}
+		if err := conn.Send(hello); err != nil {
+			return nil, fmt.Errorf("node: client %d hello to PS %d: %w", cfg.ID, i, err)
+		}
+	}
+
+	stats := make([]ClientRoundStats, 0, cfg.Rounds)
+	for round := 0; round < cfg.Rounds; round++ {
+		st := ClientRoundStats{Round: round, UploadedTo: -1}
+
+		var roundStart []float64
+		if cfg.UploadAttack != nil {
+			roundStart = cfg.Learner.Params()
+		}
+
+		// Local training stage.
+		st.TrainLoss = cfg.Learner.LocalTrain(cfg.LocalSteps, round*cfg.LocalSteps, cfg.Schedule)
+		params := cfg.Learner.Params()
+
+		// A Byzantine client lies in what it sends, not in how it
+		// trains.
+		if cfg.UploadAttack != nil {
+			params = cfg.UploadAttack.TamperUpload(&attack.UploadContext{
+				Round:  round,
+				Client: cfg.ID,
+				Params: params,
+				Global: roundStart,
+				RNG:    core.UploadAttackRNG(cfg.Seed, round, cfg.ID),
+			})
+		}
+
+		// Model aggregation stage: one real upload (sparse) or P (full);
+		// empty skip frames complete the PS-side barrier.
+		choice := -1
+		if !cfg.FullUpload {
+			choice = core.SparseUploadChoice(cfg.Seed, round, cfg.ID, p)
+			st.UploadedTo = choice
+		}
+		for i, conn := range conns {
+			msg := &transport.Message{
+				Type:   transport.TypeUpload,
+				Round:  uint32(round),
+				Sender: uint32(cfg.ID),
+			}
+			if cfg.FullUpload || i == choice {
+				msg.Flag = 1
+				msg.Vec = params
+			}
+			if err := conn.Send(msg); err != nil {
+				return stats, fmt.Errorf("node: client %d round %d upload to PS %d: %w", cfg.ID, round, i, err)
+			}
+		}
+
+		// Model dissemination stage: receive one global model per PS.
+		received := make([][]float64, p)
+		for i, conn := range conns {
+			m, err := conn.Recv()
+			if err != nil {
+				return stats, fmt.Errorf("node: client %d round %d recv from PS %d: %w", cfg.ID, round, i, err)
+			}
+			if m.Type != transport.TypeGlobalModel || int(m.Round) != round {
+				return stats, fmt.Errorf("node: client %d round %d: unexpected %s (round %d) from PS %d", cfg.ID, round, m.Type, m.Round, i)
+			}
+			received[m.Sender] = m.Vec
+		}
+		for i, vec := range received {
+			if vec == nil {
+				return stats, fmt.Errorf("node: client %d round %d: no model from PS %d", cfg.ID, round, i)
+			}
+		}
+
+		// Model filter: trmean over the P received models.
+		cfg.Learner.SetParams(cfg.Filter.Aggregate(received))
+
+		if cfg.EvalEvery > 0 && (round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1) {
+			st.TestLoss, st.TestAcc = cfg.Learner.Evaluate()
+			st.Evaluated = true
+		}
+		stats = append(stats, st)
+	}
+	return stats, nil
+}

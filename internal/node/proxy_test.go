@@ -1,0 +1,151 @@
+package node
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/nn"
+)
+
+// corruptingProxy forwards TCP bytes between a client and a PS,
+// flipping one byte in the middle of every frame-sized chunk after the
+// first few — a model of an unreliable or hostile network path.
+type corruptingProxy struct {
+	ln      net.Listener
+	target  string
+	corrupt func(n int, buf []byte) // mutates the nth forwarded chunk
+}
+
+func newCorruptingProxy(t *testing.T, target string, corrupt func(int, []byte)) *corruptingProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &corruptingProxy{ln: ln, target: target, corrupt: corrupt}
+	go p.serve()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *corruptingProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *corruptingProxy) serve() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			return
+		}
+		// Downstream (PS -> client) passes through untouched.
+		go func() {
+			defer in.Close()
+			defer out.Close()
+			_, _ = io.Copy(in, out)
+		}()
+		// Upstream (client -> PS) gets corrupted.
+		go func() {
+			defer in.Close()
+			defer out.Close()
+			buf := make([]byte, 32<<10)
+			chunk := 0
+			for {
+				n, err := in.Read(buf)
+				if n > 0 {
+					p.corrupt(chunk, buf[:n])
+					chunk++
+					if _, werr := out.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestCorruptedPathDetected runs a client through a byte-flipping proxy:
+// the PS must reject the corrupted frame via the CRC, aborting the
+// round rather than training on damaged weights.
+func TestCorruptedPathDetected(t *testing.T) {
+	const seed = 70
+	learners := makeLearners(t, 1, seed)
+	ps, err := NewPS(PSConfig{
+		ID: 0, ListenAddr: "127.0.0.1:0", Clients: 1, Rounds: 3,
+		Seed: seed, Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psDone := make(chan error, 1)
+	go func() { psDone <- ps.Serve() }()
+
+	proxy := newCorruptingProxy(t, ps.Addr(), func(chunk int, buf []byte) {
+		// Leave the hello (chunk 0) intact; corrupt later payloads.
+		if chunk >= 1 && len(buf) > 100 {
+			buf[len(buf)/2] ^= 0xFF
+		}
+	})
+
+	var wg sync.WaitGroup
+	var clientErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, clientErr = RunClient(ClientConfig{
+			ID: 0, Learner: learners[0], Servers: []string{proxy.addr()},
+			Rounds: 3, LocalSteps: 1, FullUpload: true,
+			Filter: aggregate.Mean{}, Schedule: nn.ConstantLR(0.1),
+			Seed: seed, Timeout: 3 * time.Second,
+		})
+	}()
+	wg.Wait()
+
+	select {
+	case err := <-psDone:
+		if err == nil {
+			t.Fatal("PS completed despite corrupted frames")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("PS hung on corrupted path")
+	}
+	if clientErr == nil {
+		t.Fatal("client should observe the aborted protocol")
+	}
+}
+
+// TestCleanProxyPassesThrough sanity-checks the proxy harness: with no
+// corruption the run completes.
+func TestCleanProxyPassesThrough(t *testing.T) {
+	const seed = 71
+	learners := makeLearners(t, 1, seed)
+	ps, err := NewPS(PSConfig{
+		ID: 0, ListenAddr: "127.0.0.1:0", Clients: 1, Rounds: 2,
+		Seed: seed, Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ps.Serve() }()
+
+	proxy := newCorruptingProxy(t, ps.Addr(), func(int, []byte) {})
+	_, err = RunClient(ClientConfig{
+		ID: 0, Learner: learners[0], Servers: []string{proxy.addr()},
+		Rounds: 2, LocalSteps: 1, FullUpload: true,
+		Filter: aggregate.Mean{}, Schedule: nn.ConstantLR(0.1),
+		Seed: seed, Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("clean proxy run failed: %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package node implements the distributed Fed-MS runtime: parameter
+// servers and clients as real networked processes speaking the
+// internal/transport protocol over TCP.
+//
+// The topology matches the paper's system model: every client holds a
+// persistent connection to every PS; there is no trusted central
+// component. Each round, every client sends exactly one TypeUpload
+// frame to every PS — carrying its model for the one PS selected by the
+// sparse-upload rule and an empty "skip" frame to the others — which
+// gives each PS a K-message barrier without any global coordinator.
+// Benign PSs then broadcast their honest aggregate; Byzantine PSs run
+// their configured attack (including per-client equivocation).
+//
+// All randomness (upload choices, attack noise) is derived from the
+// shared experiment seed exactly as in the in-process engine
+// (internal/core), so a distributed run reproduces the engine's results
+// bit-for-bit — a property the integration tests assert.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/core"
+	"fedms/internal/transport"
+)
+
+// DefaultTimeout is the per-frame I/O timeout used when a config leaves
+// Timeout zero.
+const DefaultTimeout = 10 * time.Second
+
+// PSConfig configures one parameter-server node.
+type PSConfig struct {
+	// ID is the server index in [0, P).
+	ID int
+	// ListenAddr is the TCP address to bind ("127.0.0.1:0" picks a free
+	// port; see PS.Addr for the resolved address).
+	ListenAddr string
+	// Clients is K, the number of clients that will connect.
+	Clients int
+	// Rounds is the number of federated rounds to serve.
+	Rounds int
+	// Attack, when non-nil, makes this PS Byzantine with the given
+	// behaviour.
+	Attack attack.Attack
+	// ServerRule is the aggregation rule applied to received uploads
+	// (default Mean, the paper's benign-PS behaviour; a robust rule
+	// defends against Byzantine clients).
+	ServerRule aggregate.Rule
+	// Seed is the shared experiment seed (drives attack RNG streams).
+	Seed uint64
+	// Key, when non-empty, enables per-frame HMAC authentication; all
+	// clients must share it.
+	Key []byte
+	// Timeout bounds each frame send/receive.
+	Timeout time.Duration
+}
+
+// PS is a running parameter-server node.
+type PS struct {
+	cfg PSConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	lastAgg []float64
+	history [][]float64
+	stats   PSStats
+}
+
+// PSStats reports a server's lifetime counters.
+type PSStats struct {
+	// RoundsServed counts completed aggregation/dissemination rounds.
+	RoundsServed int
+	// UploadsReceived counts non-empty model uploads.
+	UploadsReceived int
+	// FloatsIn and FloatsOut count model elements received/sent.
+	FloatsIn  int
+	FloatsOut int
+}
+
+// NewPS binds the listener and returns the node; call Serve to run the
+// protocol.
+func NewPS(cfg PSConfig) (*PS, error) {
+	if cfg.Clients <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("node: PS %d needs positive Clients and Rounds", cfg.ID)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.ServerRule == nil {
+		cfg.ServerRule = aggregate.Mean{}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("node: PS %d listen: %w", cfg.ID, err)
+	}
+	return &PS{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (p *PS) Addr() string { return p.ln.Addr().String() }
+
+// Close shuts the listener (interrupting Serve's accept phase).
+func (p *PS) Close() error { return p.ln.Close() }
+
+// Stats returns a snapshot of the server's lifetime counters.
+func (p *PS) Stats() PSStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Serve runs the full protocol: accept K clients, serve Rounds rounds,
+// close. It returns the first fatal error (a crashed or timed-out
+// client aborts the round — the synchronous model of the paper).
+func (p *PS) Serve() error {
+	defer p.ln.Close()
+
+	conns := make([]*transport.Conn, p.cfg.Clients)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+
+	// Accept phase: each client introduces itself with Hello{flag=id}
+	// carrying the shared initial model w_0.
+	for accepted := 0; accepted < p.cfg.Clients; accepted++ {
+		raw, err := p.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("node: PS %d accept: %w", p.cfg.ID, err)
+		}
+		conn := transport.NewConn(raw)
+		conn.Timeout = p.cfg.Timeout
+		conn.SetKey(p.cfg.Key)
+		hello, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("node: PS %d hello: %w", p.cfg.ID, err)
+		}
+		if hello.Type != transport.TypeHello {
+			return fmt.Errorf("node: PS %d expected hello, got %s", p.cfg.ID, hello.Type)
+		}
+		id := int(hello.Flag)
+		if id < 0 || id >= p.cfg.Clients || conns[id] != nil {
+			return fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)
+		}
+		conns[id] = conn
+		if p.lastAgg == nil && len(hello.Vec) > 0 {
+			p.lastAgg = append([]float64(nil), hello.Vec...)
+		}
+	}
+
+	for round := 0; round < p.cfg.Rounds; round++ {
+		if err := p.serveRound(round, conns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveRound implements one aggregation + dissemination round.
+func (p *PS) serveRound(round int, conns []*transport.Conn) error {
+	type upload struct {
+		client int
+		vec    []float64
+		err    error
+	}
+	results := make(chan upload, len(conns))
+	for id, conn := range conns {
+		go func(id int, conn *transport.Conn) {
+			m, err := conn.Recv()
+			if err != nil {
+				results <- upload{client: id, err: err}
+				return
+			}
+			if m.Type != transport.TypeUpload || int(m.Round) != round {
+				results <- upload{client: id, err: fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)}
+				return
+			}
+			if m.Flag == 1 {
+				results <- upload{client: id, vec: m.Vec}
+			} else {
+				results <- upload{client: id}
+			}
+		}(id, conn)
+	}
+
+	var members []int
+	vecs := make(map[int][]float64)
+	var firstErr error
+	for range conns {
+		u := <-results
+		if u.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("node: PS %d round %d: client %d: %w", p.cfg.ID, round, u.client, u.err)
+		}
+		if u.vec != nil {
+			members = append(members, u.client)
+			vecs[u.client] = u.vec
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Aggregate in ascending client order — the same input order as
+	// the in-process engine, for bitwise parity.
+	sort.Ints(members)
+	var agg []float64
+	if len(members) == 0 {
+		if p.lastAgg == nil {
+			return fmt.Errorf("node: PS %d round %d: no uploads and no previous aggregate", p.cfg.ID, round)
+		}
+		agg = append([]float64(nil), p.lastAgg...)
+	} else {
+		dim := len(vecs[members[0]])
+		ordered := make([][]float64, 0, len(members))
+		for _, k := range members {
+			if len(vecs[k]) != dim {
+				return fmt.Errorf("node: PS %d round %d: dimension mismatch from client %d", p.cfg.ID, round, k)
+			}
+			ordered = append(ordered, vecs[k])
+		}
+		agg = p.cfg.ServerRule.Aggregate(ordered)
+	}
+	p.mu.Lock()
+	p.lastAgg = agg
+	p.stats.RoundsServed++
+	p.stats.UploadsReceived += len(members)
+	for _, k := range members {
+		p.stats.FloatsIn += len(vecs[k])
+	}
+	p.stats.FloatsOut += len(conns) * len(agg)
+	p.mu.Unlock()
+
+	// Dissemination, with Byzantine tampering where configured. The
+	// history records honest aggregates only (adaptive adversary
+	// knowledge), exactly as in the engine.
+	var consistentTampered []float64
+	if p.cfg.Attack != nil && !p.cfg.Attack.Equivocates() {
+		ctx := &attack.Context{
+			Round:   round,
+			Server:  p.cfg.ID,
+			Client:  -1,
+			TrueAgg: agg,
+			History: p.history,
+			RNG:     core.AttackRNG(p.cfg.Seed, p.cfg.ID, round, -1, false),
+		}
+		consistentTampered = p.cfg.Attack.Tamper(ctx)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(conns))
+	for id, conn := range conns {
+		out := agg
+		switch {
+		case p.cfg.Attack == nil:
+		case consistentTampered != nil:
+			out = consistentTampered
+		default:
+			ctx := &attack.Context{
+				Round:   round,
+				Server:  p.cfg.ID,
+				Client:  id,
+				TrueAgg: agg,
+				History: p.history,
+				RNG:     core.AttackRNG(p.cfg.Seed, p.cfg.ID, round, id, true),
+			}
+			out = p.cfg.Attack.Tamper(ctx)
+		}
+		wg.Add(1)
+		go func(id int, conn *transport.Conn, vec []float64) {
+			defer wg.Done()
+			err := conn.Send(&transport.Message{
+				Type:   transport.TypeGlobalModel,
+				Round:  uint32(round),
+				Sender: uint32(p.cfg.ID),
+				Vec:    vec,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("node: PS %d round %d: send to client %d: %w", p.cfg.ID, round, id, err)
+			}
+		}(id, conn, out)
+	}
+	wg.Wait()
+	close(errs)
+	p.history = append(p.history, agg)
+	return firstOf(errs)
+}
+
+func firstOf(errs <-chan error) error {
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrAborted reports a node shut down by its peer.
+var ErrAborted = errors.New("node: aborted by peer")

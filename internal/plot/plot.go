@@ -1,0 +1,189 @@
+// Package plot renders metric series as ASCII line charts, giving the
+// benchmark harness a terminal rendering of the paper's
+// accuracy-versus-epoch figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fedms/internal/metrics"
+)
+
+// Options configures a chart rendering.
+type Options struct {
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 60×16).
+	Width  int
+	Height int
+	// YMin/YMax fix the y-axis; when both are zero the axis is fitted
+	// to the data with a small margin.
+	YMin, YMax float64
+	// Title is printed above the chart.
+	Title string
+}
+
+// seriesGlyphs mark successive series.
+var seriesGlyphs = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the table's series as an ASCII chart.
+func Render(w io.Writer, tbl *metrics.Table, opts Options) error {
+	series := tbl.Series()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series to render")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+
+	// Axis ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Rounds {
+			x := float64(s.Rounds[i])
+			y := s.Values[i]
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("plot: all series empty")
+	}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		ymin, ymax = opts.YMin, opts.YMax
+	} else {
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = 0.5
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	// Rasterize.
+	grid := make([][]rune, opts.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opts.Width))
+	}
+	toCol := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(opts.Width-1))
+		return clamp(c, 0, opts.Width-1)
+	}
+	toRow := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(opts.Height-1))
+		return clamp(r, 0, opts.Height-1)
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		// Line segments between consecutive points, then point markers
+		// so markers win overlaps.
+		for i := 1; i < len(s.Rounds); i++ {
+			drawSegment(grid,
+				toCol(float64(s.Rounds[i-1])), toRow(s.Values[i-1]),
+				toCol(float64(s.Rounds[i])), toRow(s.Values[i]), '.')
+		}
+		for i := range s.Rounds {
+			grid[toRow(s.Values[i])][toCol(float64(s.Rounds[i]))] = glyph
+		}
+	}
+
+	// Emit.
+	if opts.Title != "" {
+		if _, err := fmt.Fprintln(w, opts.Title); err != nil {
+			return err
+		}
+	}
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", ymax)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%8.3f", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-10.0f%*.0f\n", strings.Repeat(" ", 8), xmin, opts.Width-11, xmax); err != nil {
+		return err
+	}
+	var legend strings.Builder
+	for si, s := range series {
+		if si > 0 {
+			legend.WriteString("   ")
+		}
+		fmt.Fprintf(&legend, "%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 8), legend.String())
+	return err
+}
+
+// drawSegment draws a Bresenham line with the given glyph, not
+// overwriting existing non-space cells (markers/lines of earlier
+// passes stay visible).
+func drawSegment(grid [][]rune, x0, y0, x1, y1 int, glyph rune) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = glyph
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

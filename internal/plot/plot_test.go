@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"fedms/internal/metrics"
+)
+
+func sampleTable() *metrics.Table {
+	tbl := metrics.NewTable("demo")
+	a := tbl.Add("rising")
+	b := tbl.Add("flat")
+	for i := 0; i <= 10; i++ {
+		a.Append(i, float64(i)/10)
+		b.Append(i, 0.5)
+	}
+	return tbl
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, sampleTable(), Options{Title: "My Chart", Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "My Chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* rising") || !strings.Contains(out, "+ flat") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + legend
+	if len(lines) != 1+10+3 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Rising series: its glyph appears near top-right and bottom-left.
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max value marker not on top row:\n%s", out)
+	}
+}
+
+func TestRenderFixedYAxis(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, sampleTable(), Options{YMin: 0, YMax: 1.0001, Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.000") {
+		t.Fatalf("y-axis label missing:\n%s", sb.String())
+	}
+}
+
+func TestRenderSinglePointSeries(t *testing.T) {
+	tbl := metrics.NewTable("")
+	tbl.Add("dot").Append(5, 0.7)
+	var sb strings.Builder
+	if err := Render(&sb, tbl, Options{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestRenderConstantSeriesNoDivideByZero(t *testing.T) {
+	tbl := metrics.NewTable("")
+	s := tbl.Add("const")
+	s.Append(0, 2)
+	s.Append(1, 2)
+	var sb strings.Builder
+	if err := Render(&sb, tbl, Options{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := Render(&strings.Builder{}, metrics.NewTable(""), Options{}); err == nil {
+		t.Fatal("empty table must error")
+	}
+	tbl := metrics.NewTable("")
+	tbl.Add("empty")
+	if err := Render(&strings.Builder{}, tbl, Options{}); err == nil {
+		t.Fatal("table with only empty series must error")
+	}
+}
+
+func TestRenderManySeriesGlyphCycle(t *testing.T) {
+	tbl := metrics.NewTable("")
+	for i := 0; i < 10; i++ {
+		s := tbl.Add(strings.Repeat("s", i+1))
+		s.Append(0, float64(i))
+		s.Append(1, float64(i))
+	}
+	var sb strings.Builder
+	if err := Render(&sb, tbl, Options{Width: 20, Height: 12}); err != nil {
+		t.Fatal(err)
+	}
+	// Glyphs cycle after 8 series; legend must still list all 10.
+	if strings.Count(sb.String(), "s") < 10 {
+		t.Fatal("legend incomplete")
+	}
+}

@@ -1,0 +1,199 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/64 identical draws", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	if Derive(7, "client/3") != Derive(7, "client/3") {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(7, "client/3") == Derive(7, "client/4") {
+		t.Fatal("Derive does not separate labels")
+	}
+	if Derive(7, "client/3") == Derive(8, "client/3") {
+		t.Fatal("Derive does not separate seeds")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Streams from different labels should not be equal element-wise.
+	a := Split(99, "a")
+	b := Split(99, "b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams nearly identical: %d/64 equal draws", same)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(1234)
+	const n = 200000
+	buf := make([]float64, n)
+	Normal(r, buf, 2.0, 3.0)
+	var sum, sq float64
+	for _, v := range buf {
+		sum += v
+	}
+	mean := sum / n
+	for _, v := range buf {
+		d := v - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / n)
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~2.0", mean)
+	}
+	if math.Abs(std-3.0) > 0.05 {
+		t.Fatalf("Normal std = %v, want ~3.0", std)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(5)
+	buf := make([]float64, 10000)
+	Uniform(r, buf, -10, 10)
+	var sum float64
+	for _, v := range buf {
+		if v < -10 || v >= 10 {
+			t.Fatalf("Uniform sample %v out of [-10,10)", v)
+		}
+		sum += v
+	}
+	if m := sum / float64(len(buf)); math.Abs(m) > 0.3 {
+		t.Fatalf("Uniform mean = %v, want ~0", m)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(k,1) has mean k and variance k.
+	for _, shape := range []float64{0.3, 1.0, 2.5, 10.0} {
+		r := New(uint64(shape*1000) + 1)
+		const n = 100000
+		var sum float64
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = Gamma(r, shape)
+			if xs[i] < 0 {
+				t.Fatalf("Gamma(%v) produced negative sample", shape)
+			}
+			sum += xs[i]
+		}
+		mean := sum / n
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Fatalf("Gamma(%v) mean = %v", shape, mean)
+		}
+		var varsum float64
+		for _, x := range xs {
+			d := x - mean
+			varsum += d * d
+		}
+		variance := varsum / n
+		if math.Abs(variance-shape)/shape > 0.10 {
+			t.Fatalf("Gamma(%v) variance = %v", shape, variance)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) should panic")
+		}
+	}()
+	Gamma(New(1), 0)
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	err := quick.Check(func(seed uint64, alphaRaw uint8, nRaw uint8) bool {
+		alpha := 0.01 + float64(alphaRaw)/16.0
+		n := 1 + int(nRaw)%20
+		p := Dirichlet(New(seed), alpha, n)
+		if len(p) != n {
+			return false
+		}
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Small alpha concentrates mass; large alpha spreads it evenly.
+	r := New(77)
+	small := Dirichlet(r, 0.05, 10)
+	large := Dirichlet(New(78), 1000, 10)
+	maxSmall, maxLarge := 0.0, 0.0
+	for i := 0; i < 10; i++ {
+		maxSmall = math.Max(maxSmall, small[i])
+		maxLarge = math.Max(maxLarge, large[i])
+	}
+	if maxSmall < 0.5 {
+		t.Fatalf("Dirichlet(0.05) max share %v, want concentrated", maxSmall)
+	}
+	if maxLarge > 0.2 {
+		t.Fatalf("Dirichlet(1000) max share %v, want near-uniform", maxLarge)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := Perm(New(3), 50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5, 6}
+	Shuffle(New(9), s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("Shuffle lost elements: %v", s)
+	}
+}

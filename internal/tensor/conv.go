@@ -1,0 +1,95 @@
+package tensor
+
+// Convolution support: im2col/col2im lowering used by the nn package's
+// Conv2D layers. Image layout is CHW for a single image (the nn layers
+// loop over the batch dimension).
+
+// ConvOutSize returns the output spatial size for an input of size in with
+// the given kernel, stride and symmetric zero padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers a CHW image into a [C*kh*kw, outH*outW] column matrix,
+// written into dst (which must have length C*kh*kw*outH*outW). Zero
+// padding is applied implicitly.
+func Im2Col(src []float64, c, h, w, kh, kw, stride, pad int, dst []float64) {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	cols := outH * outW
+	if len(dst) != c*kh*kw*cols {
+		panic("tensor: Im2Col dst has wrong length")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		img := src[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				out := dst[row*cols : (row+1)*cols]
+				row++
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							out[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							out[idx] = 0
+						} else {
+							out[idx] = img[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a [C*kh*kw, outH*outW] column matrix back into a CHW
+// image buffer, accumulating overlapping contributions. dst must have
+// length c*h*w and is zeroed first.
+func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, dst []float64) {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	ncols := outH * outW
+	if len(dst) != c*h*w {
+		panic("tensor: Col2Im dst has wrong length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		img := dst[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				in := cols[row*ncols : (row+1)*ncols]
+				row++
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							img[base+ix] += in[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a new tensor holding the matrix product a·b.
+// a must have shape [m, k] and b shape [k, n].
+func MatMul(a, b *Dense) *Dense {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	Gemm(out.data, a.data, b.data, m, n, k)
+	return out
+}
+
+// MatMulInto computes out = a·b where out has shape [m, n].
+func MatMulInto(out, a, b *Dense) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	Gemm(out.data, a.data, b.data, m, n, k)
+}
+
+// Gemm computes C = A·B for row-major flat buffers with A [m×k], B [k×n],
+// C [m×n]. It uses an ikj loop order so B is streamed contiguously, which
+// is the main optimization that matters in pure Go.
+func Gemm(c, a, b []float64, m, n, k int) {
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmAcc computes C += A·B (no zeroing of C).
+func GemmAcc(c, a, b []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns a new tensor with the transpose of a rank-2 tensor.
+func Transpose(a *Dense) *Dense {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec computes y = A·x for A [m×k] and x of length k, returning y of
+// length m.
+func MatVec(a *Dense, x []float64) []float64 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires rank-2 tensor")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		y[i] = VecDot(a.data[i*k:(i+1)*k], x)
+	}
+	return y
+}

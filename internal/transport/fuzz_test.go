@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the wire decoder never panics and never returns a
+// frame that fails invariants, no matter what bytes arrive.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(&Message{Type: TypeDone}))
+	f.Add(Encode(&Message{Type: TypeUpload, Round: 3, Sender: 1, Flag: 1, Vec: []float64{1, 2, 3}}))
+	f.Add(Encode(&Message{Type: TypeGlobalModel, Text: "hello", Vec: []float64{0.5}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xD5, 0xFE, 1, 2})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must re-encode to valid bytes
+		// that decode to the same message.
+		again, err := Decode(bytes.NewReader(Encode(m)))
+		if err != nil {
+			t.Fatalf("re-decode of valid frame failed: %v", err)
+		}
+		if again.Type != m.Type || again.Round != m.Round || again.Sender != m.Sender ||
+			again.Flag != m.Flag || again.Text != m.Text || len(again.Vec) != len(m.Vec) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package transport implements the binary wire protocol used by the
+// distributed Fed-MS runtime (internal/node). Messages carry model
+// vectors between clients, parameter servers and the coordinator over
+// TCP.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   uint16  0xFED5
+//	version uint8   1
+//	type    uint8   message type
+//	round   uint32
+//	sender  uint32
+//	flag    uint32
+//	textLen uint32
+//	vecLen  uint32  number of float64 elements
+//	text    [textLen]byte
+//	vec     [vecLen]float64
+//	crc     uint32  CRC-32 (IEEE) of everything after magic, before crc
+//
+// The checksum protects against framing bugs and torn writes, which in
+// a model-exchange protocol would otherwise corrupt training silently.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// Magic identifies Fed-MS frames.
+const Magic uint16 = 0xFED5
+
+// Version is the wire protocol version.
+const Version uint8 = 1
+
+// MaxVecLen bounds the model dimension accepted from the wire (64M
+// float64 = 512 MiB), protecting against corrupt length prefixes.
+const MaxVecLen = 64 << 20
+
+// MaxTextLen bounds text payloads.
+const MaxTextLen = 1 << 20
+
+// Type enumerates message types.
+type Type uint8
+
+// Message types of the Fed-MS protocol.
+const (
+	// TypeHello introduces a node (client or PS) to a peer; flag
+	// carries the node id.
+	TypeHello Type = iota + 1
+	// TypeUpload carries a client's local model to one PS (flag 1) or
+	// announces that the client skips this PS this round (flag 0, empty
+	// vector) — the sparse-upload barrier.
+	TypeUpload
+	// TypeGlobalModel carries a PS's (possibly tampered) global model
+	// to one client.
+	TypeGlobalModel
+	// TypeDone signals protocol completion.
+	TypeDone
+	// TypeError carries a failure description in Text.
+	TypeError
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeUpload:
+		return "upload"
+	case TypeGlobalModel:
+		return "global_model"
+	case TypeDone:
+		return "done"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type   Type
+	Round  uint32
+	Sender uint32
+	Flag   uint32
+	Text   string
+	Vec    []float64
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic    = errors.New("transport: bad magic")
+	ErrBadVersion  = errors.New("transport: unsupported version")
+	ErrBadChecksum = errors.New("transport: checksum mismatch")
+	ErrTooLarge    = errors.New("transport: frame exceeds size limits")
+)
+
+const headerLen = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4
+
+// Encode serializes the message into a fresh byte slice (frame bytes
+// including checksum).
+func Encode(m *Message) []byte {
+	textLen := len(m.Text)
+	vecLen := len(m.Vec)
+	buf := make([]byte, headerLen+textLen+8*vecLen+4)
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = uint8(m.Type)
+	binary.LittleEndian.PutUint32(buf[4:], m.Round)
+	binary.LittleEndian.PutUint32(buf[8:], m.Sender)
+	binary.LittleEndian.PutUint32(buf[12:], m.Flag)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(textLen))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(vecLen))
+	copy(buf[headerLen:], m.Text)
+	off := headerLen + textLen
+	for _, v := range m.Vec {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[2:off])
+	binary.LittleEndian.PutUint32(buf[off:], crc)
+	return buf
+}
+
+// Decode reads one frame from r.
+func Decode(r io.Reader) (*Message, error) {
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint16(header[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if header[2] != Version {
+		return nil, ErrBadVersion
+	}
+	textLen := binary.LittleEndian.Uint32(header[16:])
+	vecLen := binary.LittleEndian.Uint32(header[20:])
+	if textLen > MaxTextLen || vecLen > MaxVecLen {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, int(textLen)+8*int(vecLen)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	payload := body[:len(body)-4]
+	wantCRC := binary.LittleEndian.Uint32(body[len(body)-4:])
+	crc := crc32.ChecksumIEEE(header[2:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	m := &Message{
+		Type:   Type(header[3]),
+		Round:  binary.LittleEndian.Uint32(header[4:]),
+		Sender: binary.LittleEndian.Uint32(header[8:]),
+		Flag:   binary.LittleEndian.Uint32(header[12:]),
+	}
+	if textLen > 0 {
+		m.Text = string(payload[:textLen])
+	}
+	if vecLen > 0 {
+		m.Vec = make([]float64, vecLen)
+		off := int(textLen)
+		for i := range m.Vec {
+			m.Vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+	}
+	return m, nil
+}
+
+// Conn wraps a net.Conn with buffered, mutex-protected, deadline-aware
+// frame I/O. Send and Recv are each safe for concurrent use.
+type Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	key  []byte // optional shared secret for per-frame HMAC (see SetKey)
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	// Timeout applies per frame to both reads and writes (0 = none).
+	Timeout time.Duration
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{conn: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Dial connects to addr and wraps the connection.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	conn := NewConn(c)
+	conn.Timeout = timeout
+	return conn, nil
+}
+
+// Send writes one frame (plus its HMAC tag when a key is configured).
+func (c *Conn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.Timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return err
+		}
+	}
+	frame := Encode(m)
+	if c.key != nil {
+		frame = append(frame, seal(c.key, frame)...)
+	}
+	return c.sendBytes(frame)
+}
+
+// Recv reads one frame (verifying its HMAC tag when a key is
+// configured).
+func (c *Conn) Recv() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if c.Timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if c.key != nil {
+		return c.recvAuthenticated()
+	}
+	return Decode(c.br)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:   TypeUpload,
+		Round:  7,
+		Sender: 3,
+		Flag:   1,
+		Text:   "hello",
+		Vec:    []float64{1.5, -2.25, math.Pi, 0},
+	}
+	got, err := Decode(bytes.NewReader(Encode(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Round != m.Round || got.Sender != m.Sender ||
+		got.Flag != m.Flag || got.Text != m.Text {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range m.Vec {
+		if got.Vec[i] != m.Vec[i] {
+			t.Fatalf("vec[%d] = %v, want %v", i, got.Vec[i], m.Vec[i])
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	err := quick.Check(func(round, sender, flag uint32, text string, vec []float64) bool {
+		if len(text) > 1000 || len(vec) > 1000 {
+			return true
+		}
+		m := &Message{Type: TypeGlobalModel, Round: round, Sender: sender, Flag: flag, Text: text, Vec: vec}
+		got, err := Decode(bytes.NewReader(Encode(m)))
+		if err != nil {
+			return false
+		}
+		if got.Round != round || got.Sender != sender || got.Flag != flag || got.Text != text {
+			return false
+		}
+		if len(got.Vec) != len(vec) {
+			return false
+		}
+		for i := range vec {
+			// NaN-safe bit comparison.
+			if math.Float64bits(got.Vec[i]) != math.Float64bits(vec[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEmptyMessage(t *testing.T) {
+	m := &Message{Type: TypeDone}
+	got, err := Decode(bytes.NewReader(Encode(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeDone || got.Text != "" || len(got.Vec) != 0 {
+		t.Fatalf("empty message round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	buf := Encode(&Message{Type: TypeDone})
+	buf[0] = 0x00
+	if _, err := Decode(bytes.NewReader(buf)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	buf := Encode(&Message{Type: TypeDone})
+	buf[2] = 99
+	if _, err := Decode(bytes.NewReader(buf)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsCorruptedPayload(t *testing.T) {
+	buf := Encode(&Message{Type: TypeUpload, Vec: []float64{1, 2, 3}})
+	buf[len(buf)-9] ^= 0xFF // flip a payload byte
+	if _, err := Decode(bytes.NewReader(buf)); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsCorruptedHeader(t *testing.T) {
+	buf := Encode(&Message{Type: TypeUpload, Round: 5, Vec: []float64{1}})
+	buf[4] ^= 0xFF // corrupt round field
+	if _, err := Decode(bytes.NewReader(buf)); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsOversizedFrames(t *testing.T) {
+	buf := Encode(&Message{Type: TypeUpload})
+	// Claim an absurd vector length.
+	buf[20] = 0xFF
+	buf[21] = 0xFF
+	buf[22] = 0xFF
+	buf[23] = 0xFF
+	if _, err := Decode(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeShortRead(t *testing.T) {
+	buf := Encode(&Message{Type: TypeUpload, Vec: []float64{1, 2}})
+	_, err := Decode(bytes.NewReader(buf[:len(buf)-3]))
+	if err == nil {
+		t.Fatal("truncated frame must error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultipleFramesBackToBack(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		buf.Write(Encode(&Message{Type: TypeUpload, Round: uint32(i), Vec: []float64{float64(i)}}))
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i := 0; i < 5; i++ {
+		m, err := Decode(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.Round != uint32(i) || m.Vec[0] != float64(i) {
+			t.Fatalf("frame %d corrupted: %+v", i, m)
+		}
+	}
+	if _, err := Decode(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		conn := NewConn(c)
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		m.Round++
+		done <- conn.Send(m)
+	}()
+
+	conn, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Message{Type: TypeUpload, Round: 1, Vec: []float64{42}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Round != 2 || reply.Vec[0] != 42 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnRecvTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, _ := ln.Accept()
+		if c != nil {
+			defer c.Close()
+			time.Sleep(500 * time.Millisecond)
+		}
+	}()
+	conn, err := Dial(ln.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("Recv on silent peer must time out")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeUpload.String() != "upload" || Type(200).String() != "Type(200)" {
+		t.Fatalf("Type.String broken: %s %s", TypeUpload, Type(200))
+	}
+}

@@ -1,0 +1,59 @@
+package fedms
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fedms/internal/metrics"
+)
+
+// WriteReport renders a human-readable summary of a finished run:
+// configuration echo, communication totals, the accuracy trajectory as
+// a sparkline, and the final metrics.
+func (r *Result) WriteReport(w io.Writer) error {
+	cfg := r.Engine.Config()
+	if _, err := fmt.Fprintf(w,
+		"Fed-MS run: K=%d clients, P=%d servers, B=%d Byzantine %v, T=%d rounds, E=%d local steps\n",
+		cfg.Clients, cfg.Servers, cfg.NumByzantine, cfg.ByzantineIDs, cfg.Rounds, cfg.LocalSteps); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "attack: %s   filter: %s   upload: %s   model dim: %d\n",
+		cfg.Attack.Name(), cfg.Filter.Name(), cfg.Upload, r.Engine.Dim()); err != nil {
+		return err
+	}
+	if cfg.NumByzantineClients > 0 {
+		if _, err := fmt.Fprintf(w, "byzantine clients: %v (%s), server filter: %s\n",
+			cfg.ByzantineClientIDs, cfg.ClientAttack.Name(), cfg.ServerFilter.Name()); err != nil {
+			return err
+		}
+	}
+
+	var uploadFloats int
+	var elapsed time.Duration
+	for _, st := range r.Stats {
+		uploadFloats += st.UploadFloats
+		elapsed += st.Elapsed
+	}
+	if _, err := fmt.Fprintf(w, "communication: %d floats uploaded (%.1f MB), wall clock %v\n",
+		uploadFloats, float64(uploadFloats)*8/(1<<20), elapsed.Round(time.Millisecond)); err != nil {
+		return err
+	}
+
+	if r.Accuracy.Len() > 0 {
+		if _, err := fmt.Fprintf(w, "accuracy: %s  (%.4f final",
+			metrics.Sparkline(r.Accuracy.Values, 0, 1), r.FinalAccuracy()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, ", %.4f peak)\n", r.Accuracy.Max()); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintln(w, "accuracy: (no evaluations recorded)"); err != nil {
+		return err
+	}
+
+	last := r.Stats[len(r.Stats)-1]
+	_, err := fmt.Fprintf(w, "final train loss: %.4f   model spread: %.4f\n",
+		last.TrainLoss, last.ModelSpread)
+	return err
+}
