@@ -1,0 +1,31 @@
+# Build and verification entry points. `make verify` is the race-clean
+# tier referenced from ROADMAP.md: vet plus the full test suite (chaos
+# scenarios included) under the race detector.
+
+GO ?= go
+
+.PHONY: build test verify race chaos fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 plus the race-clean tier: everything must pass with -race.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Just the fault-injection surface under the race detector.
+race:
+	$(GO) test -race ./internal/node/... ./internal/transport/...
+
+# The deterministic chaos scenarios, verbosely.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/node/...
+
+# Short fuzz pass over the wire decoder (corpus includes injector-
+# damaged frames).
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/transport/

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"fedms/internal/core"
 	"fedms/internal/nn"
 	"fedms/internal/node"
+	"fedms/internal/transport"
 )
 
 type options struct {
@@ -61,6 +63,15 @@ type options struct {
 	seed       uint64
 	key        string
 	timeout    time.Duration
+
+	faultDrop     float64
+	faultCorrupt  float64
+	faultDup      float64
+	faultDelay    float64
+	faultMaxDelay time.Duration
+	faultSeed     uint64
+	faultCrash    int
+	minModels     int
 }
 
 func main() {
@@ -95,16 +106,73 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.seed, "seed", 1, "shared experiment seed")
 	fs.StringVar(&o.key, "key", "", "shared secret enabling per-frame HMAC authentication")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-frame network timeout")
+	fs.Float64Var(&o.faultDrop, "fault-drop", 0, "per-frame probability a sent frame is silently dropped")
+	fs.Float64Var(&o.faultCorrupt, "fault-corrupt", 0, "per-frame probability one bit of a sent frame is flipped")
+	fs.Float64Var(&o.faultDup, "fault-duplicate", 0, "per-frame probability a sent frame is written twice")
+	fs.Float64Var(&o.faultDelay, "fault-delay", 0, "per-frame probability a sent frame is delayed")
+	fs.DurationVar(&o.faultMaxDelay, "fault-max-delay", 20*time.Millisecond, "upper bound on injected frame delay")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
+	fs.IntVar(&o.faultCrash, "fault-crash", 0, "crash this PS after serving N rounds (ps role; local role crashes the last PS)")
+	fs.IntVar(&o.minModels, "min-models", 0, "tolerant client: accept a round with >= this many global models (0 = strict, require all P)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	return o, nil
 }
 
+// faultInjector builds the process-wide fault injector, or nil when no
+// fault rate is configured. All nodes of a chaos run must share the
+// same fault seed to agree on the schedule they are rehearsing.
+func (o *options) faultInjector() *transport.FaultInjector {
+	cfg := transport.FaultConfig{
+		Seed:      o.faultSeed,
+		Drop:      o.faultDrop,
+		Corrupt:   o.faultCorrupt,
+		Duplicate: o.faultDup,
+		Delay:     o.faultDelay,
+		MaxDelay:  o.faultMaxDelay,
+	}
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = o.seed
+	}
+	return transport.NewFaultInjector(cfg)
+}
+
+// tolerant reports whether the node runtime should survive faults
+// rather than fail fast on the first one.
+func (o *options) tolerant() bool {
+	return o.minModels > 0 || o.faultCrash > 0 || o.faultInjector() != nil
+}
+
+// psTimeout is the upload-barrier timeout for parameter servers. In
+// tolerant mode it is half the client round timeout: a PS stalled by
+// one dropped upload still broadcasts with half the window left, so
+// the surviving clients' receive deadline does not expire at the same
+// instant the late model arrives.
+func (o *options) psTimeout() time.Duration {
+	if o.tolerant() {
+		return o.timeout / 2
+	}
+	return o.timeout
+}
+
 func run(args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	// Reject an unsatisfiable quorum before any server starts listening:
+	// a client failing this check after the PSs are up would leave them
+	// blocked in Accept with nobody left to connect.
+	if o.minModels > o.servers {
+		return fmt.Errorf("-min-models %d exceeds -servers %d", o.minModels, o.servers)
+	}
+	if o.faultDrop < 0 || o.faultDrop > 1 || o.faultCorrupt < 0 || o.faultCorrupt > 1 ||
+		o.faultDup < 0 || o.faultDup > 1 || o.faultDelay < 0 || o.faultDelay > 1 {
+		return fmt.Errorf("fault rates must be in [0, 1]")
 	}
 	switch o.role {
 	case "ps":
@@ -229,15 +297,18 @@ func runPS(o *options) error {
 		}
 	}
 	ps, err := node.NewPS(node.PSConfig{
-		ID:         o.id,
-		ListenAddr: o.listen,
-		Clients:    o.clients,
-		Rounds:     o.rounds,
-		Attack:     atk,
-		ServerRule: o.serverRule(),
-		Seed:       o.seed,
-		Key:        o.authKey(),
-		Timeout:    o.timeout,
+		ID:              o.id,
+		ListenAddr:      o.listen,
+		Clients:         o.clients,
+		Rounds:          o.rounds,
+		Attack:          atk,
+		ServerRule:      o.serverRule(),
+		Seed:            o.seed,
+		Key:             o.authKey(),
+		Timeout:         o.psTimeout(),
+		Tolerant:        o.tolerant(),
+		Faults:          o.faultInjector(),
+		CrashAfterRound: o.faultCrash,
 	})
 	if err != nil {
 		return err
@@ -278,6 +349,9 @@ func runClientRole(o *options) error {
 		Seed:         o.seed,
 		Timeout:      o.timeout,
 		EvalEvery:    5,
+		MinModels:    o.minModels,
+		Faults:       o.faultInjector(),
+		Redial:       o.minModels > 0,
 	})
 	if err != nil {
 		return err
@@ -306,19 +380,32 @@ func runLocal(o *options) error {
 		byz[id] = a
 	}
 
+	// One injector serves the whole in-process federation; separate
+	// processes reconstruct the identical schedule from the shared
+	// fault seed.
+	fi := o.faultInjector()
+	tolerant := o.tolerant()
+
 	servers := make([]*node.PS, o.servers)
 	addrs := make([]string, o.servers)
 	for i := range servers {
+		crash := 0
+		if o.faultCrash > 0 && i == o.servers-1 {
+			crash = o.faultCrash
+		}
 		ps, err := node.NewPS(node.PSConfig{
-			ID:         i,
-			ListenAddr: "127.0.0.1:0",
-			Clients:    o.clients,
-			Rounds:     o.rounds,
-			Attack:     byz[i],
-			ServerRule: o.serverRule(),
-			Seed:       o.seed,
-			Key:        o.authKey(),
-			Timeout:    o.timeout,
+			ID:              i,
+			ListenAddr:      "127.0.0.1:0",
+			Clients:         o.clients,
+			Rounds:          o.rounds,
+			Attack:          byz[i],
+			ServerRule:      o.serverRule(),
+			Seed:            o.seed,
+			Key:             o.authKey(),
+			Timeout:         o.psTimeout(),
+			Tolerant:        tolerant,
+			Faults:          fi,
+			CrashAfterRound: crash,
 		})
 		if err != nil {
 			return err
@@ -339,6 +426,11 @@ func runLocal(o *options) error {
 		go func(ps *node.PS) {
 			defer wg.Done()
 			if err := ps.Serve(); err != nil {
+				// A scheduled crash is the experiment, not a failure.
+				if o.faultCrash > 0 && errors.Is(err, node.ErrCrashed) {
+					fmt.Printf("fedms-node: PS crashed after %d rounds (scheduled)\n", o.faultCrash)
+					return
+				}
 				errCh <- err
 			}
 		}(ps)
@@ -372,6 +464,9 @@ func runLocal(o *options) error {
 				Key:          o.authKey(),
 				Timeout:      o.timeout,
 				EvalEvery:    5,
+				MinModels:    o.minModels,
+				Faults:       fi,
+				Redial:       o.minModels > 0,
 			})
 			if err != nil {
 				errCh <- err

@@ -61,20 +61,33 @@ type TrimmedMean struct {
 	// Beta is the trim rate in [0, 0.5). The paper sets Beta = B/P
 	// (Fed-MS) and studies Beta below B/P as the weaker Fed-MS⁻.
 	Beta float64
+	// Trim, when positive, overrides the Beta-derived count and drops
+	// exactly this many values from each side regardless of the input
+	// count. The degraded client path uses it to keep trimming B values
+	// per side when only P' < P global models arrive in a round.
+	Trim int
 }
 
 // Name implements Rule.
-func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed_mean(beta=%g)", t.Beta) }
+func (t TrimmedMean) Name() string {
+	if t.Trim > 0 {
+		return fmt.Sprintf("trimmed_mean(trim=%d)", t.Trim)
+	}
+	return fmt.Sprintf("trimmed_mean(beta=%g)", t.Beta)
+}
 
 // TrimCount returns how many values are dropped from each side for n
 // inputs.
 func (t TrimmedMean) TrimCount(n int) int {
-	if t.Beta < 0 {
-		panic("aggregate: negative trim rate")
+	m := t.Trim
+	if m <= 0 {
+		if t.Beta < 0 {
+			panic("aggregate: negative trim rate")
+		}
+		m = int(t.Beta * float64(n))
 	}
-	m := int(t.Beta * float64(n))
 	if 2*m >= n {
-		panic(fmt.Sprintf("aggregate: trim rate %g leaves no values for n=%d", t.Beta, n))
+		panic(fmt.Sprintf("aggregate: trim rate %g (trim %d) leaves no values for n=%d", t.Beta, t.Trim, n))
 	}
 	return m
 }

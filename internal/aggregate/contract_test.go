@@ -147,6 +147,89 @@ func TestAllRulesScaleEquivariant(t *testing.T) {
 	}
 }
 
+// TestTrimmedMeanPartialParticipation: the degraded-round guarantee.
+// When only P' of P global models arrive (lost to crashes, drops or
+// partitions) the tolerant client keeps the absolute per-side trim
+// count m = ⌊β·P⌋ = B via TrimmedMean{Trim: B}. For ANY subset with
+// P' ≥ 2B+1 members of which at most B are Byzantine, the filtered
+// result must stay within the coordinate-wise [min, max] of the benign
+// members — Lemma 2 of the paper, extended to partial participation.
+func TestTrimmedMeanPartialParticipation(t *testing.T) {
+	const (
+		pTotal = 7
+		b      = 2
+		d      = 5
+	)
+	err := quick.Check(func(seed uint64) bool {
+		r := randx.New(seed)
+		// Subset size P' ∈ [2B+1, P].
+		pPrime := 2*b + 1 + r.IntN(pTotal-2*b)
+		// At most B Byzantine members survive into the subset.
+		byzCount := r.IntN(b + 1)
+
+		benign := randomVecs(r, pPrime-byzCount, d)
+		vecs := make([][]float64, 0, pPrime)
+		vecs = append(vecs, benign...)
+		for i := 0; i < byzCount; i++ {
+			// Adversarial extremes, alternating sign per coordinate.
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = 1e9 * float64(1-2*((i+j)%2))
+			}
+			vecs = append(vecs, v)
+		}
+		// Network arrival order is arbitrary.
+		perm := randx.Perm(r, len(vecs))
+		shuffled := make([][]float64, len(vecs))
+		for i, p := range perm {
+			shuffled[i] = vecs[p]
+		}
+
+		got := TrimmedMean{Trim: b}.Aggregate(shuffled)
+		for j := 0; j < d; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range benign {
+				lo = math.Min(lo, v[j])
+				hi = math.Max(hi, v[j])
+			}
+			if got[j] < lo-1e-9 || got[j] > hi+1e-9 {
+				t.Logf("P'=%d byz=%d coord %d: %v outside benign [%v, %v]",
+					pPrime, byzCount, j, got[j], lo, hi)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrimmedMeanTrimOverrideMatchesBeta: on a full federation the
+// explicit-count filter is the same function as the rate-based one, so
+// switching to Trim for a degraded round changes nothing when all P
+// models arrive after all.
+func TestTrimmedMeanTrimOverrideMatchesBeta(t *testing.T) {
+	r := randx.New(11)
+	vecs := randomVecs(r, 10, 6)
+	byBeta := TrimmedMean{Beta: 0.2}.Aggregate(vecs)   // ⌊0.2·10⌋ = 2
+	byTrim := TrimmedMean{Trim: 2}.Aggregate(vecs)
+	for i := range byBeta {
+		if byBeta[i] != byTrim[i] {
+			t.Fatalf("coord %d: beta path %v != trim path %v", i, byBeta[i], byTrim[i])
+		}
+	}
+	if got := (TrimmedMean{Trim: 2}).TrimCount(5); got != 2 {
+		t.Fatalf("TrimCount(5) with Trim=2 = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TrimCount must panic when 2·Trim ≥ n")
+		}
+	}()
+	(TrimmedMean{Trim: 2}).TrimCount(4)
+}
+
 // TestRobustRulesBounded: every rule except Mean keeps one unbounded
 // outlier's influence bounded.
 func TestRobustRulesBounded(t *testing.T) {

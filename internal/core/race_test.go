@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+)
+
+// TestWorkerPoolDeterministic pins down the trainClients worker pool:
+// the parallel path (Workers=N) must produce bit-identical training to
+// the serial path (Workers=1) for the same seed — per-round losses and
+// final client parameters alike. Run under -race this also exercises
+// the pool for data races (the chaos tier's `make verify` target).
+func TestWorkerPoolDeterministic(t *testing.T) {
+	run := func(workers int) ([]RoundStats, [][]float64) {
+		learners, _ := testFixture(t, 6, 77)
+		cfg := baseConfig(6, 3, 1, attack.Noise{Sigma: 0.5}, aggregate.TrimmedMean{Beta: 1.0 / 3.0})
+		cfg.Rounds = 6
+		cfg.Workers = workers
+		eng, err := NewEngine(cfg, learners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := eng.Run()
+		params := make([][]float64, len(learners))
+		for i, l := range learners {
+			params[i] = l.Params()
+		}
+		return stats, params
+	}
+
+	serialStats, serialParams := run(1)
+	parallelStats, parallelParams := run(8)
+
+	if len(serialStats) != len(parallelStats) {
+		t.Fatalf("round counts differ: %d vs %d", len(serialStats), len(parallelStats))
+	}
+	for r := range serialStats {
+		if serialStats[r].TrainLoss != parallelStats[r].TrainLoss {
+			t.Fatalf("round %d: serial loss %v != parallel loss %v",
+				r, serialStats[r].TrainLoss, parallelStats[r].TrainLoss)
+		}
+	}
+	for k := range serialParams {
+		for i := range serialParams[k] {
+			if serialParams[k][i] != parallelParams[k][i] {
+				t.Fatalf("client %d param %d: serial %v != parallel %v",
+					k, i, serialParams[k][i], parallelParams[k][i])
+			}
+		}
+	}
+}

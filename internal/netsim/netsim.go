@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"fedms/internal/randx"
+	"fedms/internal/transport"
 )
 
 // Link is a directed network path with fixed latency and bandwidth.
@@ -151,6 +152,77 @@ func FullAssignment(clients, servers int) [][]int {
 		out[k] = all
 	}
 	return out
+}
+
+// FaultStats tallies the fault events of one simulated round.
+type FaultStats struct {
+	// Uploads and Downloads count the messages attempted per phase.
+	Uploads, Downloads int
+	// Lost counts messages that never arrived (drop, partition,
+	// truncate — the receiver waits out a timeout for each).
+	Lost int
+	// Corrupted counts messages rejected by the checksum (the receiver
+	// skips them; they cost a transfer but deliver nothing).
+	Corrupted int
+	// Duplicated counts messages transferred twice.
+	Duplicated int
+	// ExtraDelay sums the injected latency across all messages.
+	ExtraDelay time.Duration
+}
+
+// RoundTimeWithFaults replays RoundTime under a fault schedule: every
+// message draws one event from the injector link that the wire layer
+// would use for the same transfer (upload links "c<k>->ps<s>",
+// dissemination links "ps<s>->c<k>"), so an analytic rehearsal with the
+// same seed and per-link message order predicts the exact fault
+// sequence a socket run injects. Lost and corrupted messages cost their
+// transfer (plus the receiver's timeout for lost ones, approximated by
+// timeout itself); duplicates and delays stretch the link occupancy.
+func (t *Topology) RoundTimeWithFaults(assignment [][]int, modelBytes int, fi *transport.FaultInjector, timeout time.Duration) (time.Duration, FaultStats) {
+	var st FaultStats
+	msgTime := func(link Link, label string) (time.Duration, bool) {
+		ev := fi.Link(label).Next(modelBytes)
+		base := link.TransferTime(modelBytes)
+		switch ev.Kind {
+		case transport.FaultDrop, transport.FaultPartition, transport.FaultTruncate:
+			st.Lost++
+			return timeout, false
+		case transport.FaultCorrupt:
+			st.Corrupted++
+			return base, false
+		case transport.FaultDuplicate:
+			st.Duplicated++
+			return 2 * base, true
+		case transport.FaultDelay:
+			st.ExtraDelay += ev.Delay
+			return base + ev.Delay, true
+		default:
+			return base, true
+		}
+	}
+	var upload time.Duration
+	for k, servers := range assignment {
+		var clientTime time.Duration
+		for _, s := range servers {
+			st.Uploads++
+			d, _ := msgTime(t.links[k][s], fmt.Sprintf("c%d->ps%d", k, s))
+			clientTime += d
+		}
+		if clientTime > upload {
+			upload = clientTime
+		}
+	}
+	var download time.Duration
+	for s := 0; s < t.Servers; s++ {
+		for k := 0; k < t.Clients; k++ {
+			st.Downloads++
+			d, _ := msgTime(t.links[k][s], fmt.Sprintf("ps%d->c%d", s, k))
+			if d > download {
+				download = d
+			}
+		}
+	}
+	return upload + download, st
 }
 
 // CompareUploads reports the mean round time of sparse vs full

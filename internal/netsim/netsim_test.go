@@ -1,10 +1,13 @@
 package netsim
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
 	"fedms/internal/core"
+	"fedms/internal/transport"
 )
 
 func testTopology(t *testing.T) *Topology {
@@ -116,5 +119,69 @@ func TestCompareUploads(t *testing.T) {
 	})
 	if sparse <= 0 || full <= sparse {
 		t.Fatalf("sparse %v full %v", sparse, full)
+	}
+}
+
+// TestRoundTimeWithFaultsDeterministic: two simulations from the same
+// fault seed draw the identical schedule (same makespan, same stats),
+// and a faulted round is never faster than a clean one when lost
+// messages cost a timeout.
+func TestRoundTimeWithFaultsDeterministic(t *testing.T) {
+	const modelBytes = 1 << 18
+	const timeout = 2 * time.Second
+	assign := SparseAssignment(10, 4, 0, func(round, client, servers int) int {
+		return core.SparseUploadChoice(1, round, client, servers)
+	})
+	run := func() (time.Duration, FaultStats) {
+		top := testTopology(t)
+		fi := transport.NewFaultInjector(transport.FaultConfig{
+			Seed: 9, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1,
+			Delay: 0.2, MaxDelay: 5 * time.Millisecond,
+		})
+		return top.RoundTimeWithFaults(assign, modelBytes, fi, timeout)
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("same seed diverged: %v/%+v vs %v/%+v", d1, s1, d2, s2)
+	}
+	if s1.Uploads != 10 || s1.Downloads != 40 {
+		t.Fatalf("message counts: %+v", s1)
+	}
+	if s1.Lost == 0 {
+		t.Fatal("no messages lost at drop rate 0.2 over 50 messages")
+	}
+	clean := testTopology(t).RoundTime(assign, modelBytes)
+	if d1 < clean {
+		t.Fatalf("faulted round %v faster than clean round %v", d1, clean)
+	}
+}
+
+// TestRoundTimeWithFaultsMatchesWireSchedule: the simulator consumes
+// the same per-link streams the wire layer uses, so a wire-layer
+// injector built from the same seed draws the identical events for the
+// same link labels.
+func TestRoundTimeWithFaultsMatchesWireSchedule(t *testing.T) {
+	cfg := transport.FaultConfig{Seed: 4, Drop: 0.3, Corrupt: 0.2}
+	simFI := transport.NewFaultInjector(cfg)
+	top := testTopology(t)
+	assign := SparseAssignment(10, 4, 0, func(round, client, servers int) int {
+		return core.SparseUploadChoice(3, round, client, servers)
+	})
+	_, _ = top.RoundTimeWithFaults(assign, 4096, simFI, time.Second)
+
+	wireFI := transport.NewFaultInjector(cfg)
+	for k, servers := range assign {
+		for _, s := range servers {
+			label := fmt.Sprintf("c%d->ps%d", k, s)
+			wireFI.Link(label).Next(4096)
+		}
+	}
+	simTrace := simFI.Trace()
+	wireTrace := wireFI.Trace()
+	for label, events := range wireTrace {
+		if !reflect.DeepEqual(simTrace[label], events) {
+			t.Fatalf("link %s: sim %v vs wire %v", label, simTrace[label], events)
+		}
 	}
 }

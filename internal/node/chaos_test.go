@@ -1,0 +1,421 @@
+package node
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/attack"
+	"fedms/internal/core"
+	"fedms/internal/nn"
+	"fedms/internal/transport"
+)
+
+// chaosOpts parameterizes one deterministic chaos scenario.
+type chaosOpts struct {
+	k, p, rounds int
+	seed         uint64
+	filter       aggregate.Rule
+	minModels    int
+	redial       bool
+	psTolerant   bool
+	// clientFaults faults the upload direction (links "c<k>->ps<i>"),
+	// psFaults the dissemination direction ("ps<i>->c<k>").
+	clientFaults transport.FaultConfig
+	psFaults     transport.FaultConfig
+	// crashAfter schedules PS crashes: id -> rounds served before the
+	// crash.
+	crashAfter map[int]int
+	byz        map[int]attack.Attack
+
+	psTimeout     time.Duration
+	clientTimeout time.Duration
+	onRound       func(client, round int, received map[int][]float64, filtered []float64)
+}
+
+// runChaos executes a full distributed run under the scenario and
+// returns final client params, per-PS stats and per-client round stats.
+// Scheduled crashes (ErrCrashed) are part of the scenario, not
+// failures.
+func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoundStats) {
+	t.Helper()
+	learners := makeLearners(t, o.k, o.seed)
+	var cfi, pfi *transport.FaultInjector
+	if o.clientFaults.Enabled() {
+		cfi = transport.NewFaultInjector(o.clientFaults)
+	}
+	if o.psFaults.Enabled() {
+		pfi = transport.NewFaultInjector(o.psFaults)
+	}
+
+	servers := make([]*PS, o.p)
+	addrs := make([]string, o.p)
+	for i := 0; i < o.p; i++ {
+		ps, err := NewPS(PSConfig{
+			ID:              i,
+			ListenAddr:      "127.0.0.1:0",
+			Clients:         o.k,
+			Rounds:          o.rounds,
+			Attack:          o.byz[i],
+			Seed:            o.seed,
+			Timeout:         o.psTimeout,
+			Tolerant:        o.psTolerant,
+			Faults:          pfi,
+			CrashAfterRound: o.crashAfter[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = ps
+		addrs[i] = ps.Addr()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.p+o.k)
+	for _, ps := range servers {
+		wg.Add(1)
+		go func(ps *PS) {
+			defer wg.Done()
+			if err := ps.Serve(); err != nil && !errors.Is(err, ErrCrashed) {
+				errCh <- err
+			}
+		}(ps)
+	}
+	clientStats := make([][]ClientRoundStats, o.k)
+	for id, l := range learners {
+		wg.Add(1)
+		go func(id int, l core.Learner) {
+			defer wg.Done()
+			var hook func(round int, received map[int][]float64, filtered []float64)
+			if o.onRound != nil {
+				hook = func(round int, received map[int][]float64, filtered []float64) {
+					o.onRound(id, round, received, filtered)
+				}
+			}
+			st, err := RunClient(ClientConfig{
+				ID:         id,
+				Learner:    l,
+				Servers:    addrs,
+				Rounds:     o.rounds,
+				LocalSteps: 2,
+				Filter:     o.filter,
+				Schedule:   nn.ConstantLR(0.3),
+				Seed:       o.seed,
+				Timeout:    o.clientTimeout,
+				MinModels:  o.minModels,
+				Redial:     o.redial,
+				Faults:     cfi,
+				OnRound:    hook,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			clientStats[id] = st
+		}(id, l)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+
+	params := make([][]float64, o.k)
+	for i, l := range learners {
+		params[i] = l.Params()
+	}
+	stats := make([]PSStats, o.p)
+	for i, ps := range servers {
+		stats[i] = ps.Stats()
+	}
+	return params, stats, clientStats
+}
+
+// TestChaosUploadFaultScenarios is the table-driven chaos tier: each
+// scenario faults the upload direction under a tolerant PS, and must
+// (a) complete all rounds, (b) keep every client on the identical final
+// model (dissemination is clean, so models agree), and (c) reproduce
+// the exact same final model when rerun with the same seed.
+func TestChaosUploadFaultScenarios(t *testing.T) {
+	base := chaosOpts{
+		k: 4, p: 2, rounds: 5, seed: 101,
+		filter:        aggregate.TrimmedMean{Beta: 0.2},
+		psTolerant:    true,
+		psTimeout:     500 * time.Millisecond,
+		clientTimeout: 5 * time.Second,
+	}
+	scenarios := []struct {
+		name       string
+		faults     transport.FaultConfig
+		wantMissed bool
+	}{
+		{"drop-only", transport.FaultConfig{Seed: 7, Drop: 0.2}, true},
+		{"corrupt-only", transport.FaultConfig{Seed: 7, Corrupt: 0.25}, true},
+		{"duplicate-only", transport.FaultConfig{Seed: 7, Duplicate: 0.3}, false},
+		{"mixed", transport.FaultConfig{Seed: 7, Drop: 0.1, Corrupt: 0.1, Duplicate: 0.1}, true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			o := base
+			o.clientFaults = sc.faults
+
+			params, stats, clientStats := runChaos(t, o)
+			for _, st := range clientStats {
+				if len(st) != o.rounds {
+					t.Fatalf("client completed %d rounds, want %d", len(st), o.rounds)
+				}
+			}
+			for i := 1; i < o.k; i++ {
+				assertSameParams(t, [][]float64{params[0]}, [][]float64{params[i]}, "client agreement")
+			}
+			missed := 0
+			for _, st := range stats {
+				missed += st.UploadsMissed
+				if st.RoundsServed != o.rounds {
+					t.Fatalf("PS served %d rounds, want %d", st.RoundsServed, o.rounds)
+				}
+				if st.ClientsLost != 0 {
+					t.Fatalf("PS lost %d clients under recoverable faults", st.ClientsLost)
+				}
+			}
+			if sc.wantMissed && missed == 0 {
+				t.Fatal("no uploads missed — fault schedule never fired")
+			}
+			if !sc.wantMissed && missed != 0 {
+				t.Fatalf("%d uploads missed under loss-free faults", missed)
+			}
+
+			again, _, _ := runChaos(t, o)
+			assertSameParams(t, params, again, "seeded rerun")
+		})
+	}
+}
+
+// TestChaosDelayOnlyMatchesEngine: injected delays below every timeout
+// lose nothing, so the distributed run must stay bit-identical to the
+// in-process engine — chaos that only reorders time cannot change the
+// computation.
+func TestChaosDelayOnlyMatchesEngine(t *testing.T) {
+	const k, p, rounds, seed = 4, 3, 4, 102
+	delay := transport.FaultConfig{Seed: 5, Delay: 0.5, MaxDelay: 5 * time.Millisecond}
+	params, _, _ := runChaos(t, chaosOpts{
+		k: k, p: p, rounds: rounds, seed: seed,
+		filter:        aggregate.TrimmedMean{Beta: 0.2},
+		clientFaults:  delay,
+		psFaults:      delay,
+		psTimeout:     5 * time.Second,
+		clientTimeout: 5 * time.Second,
+	})
+	eng := runEngine(t, makeLearners(t, k, seed), p, rounds, 0, nil,
+		attack.None{}, aggregate.TrimmedMean{Beta: 0.2}, seed)
+	assertSameParams(t, params, eng, "delay-only chaos vs engine")
+}
+
+// TestChaosCrashBenignPS: one benign PS crashes mid-training; every
+// client must degrade to P' = P-1 models from the crash round on,
+// surface the shortfall in its stats, and still agree on the final
+// model.
+func TestChaosCrashBenignPS(t *testing.T) {
+	const crashRounds = 2
+	o := chaosOpts{
+		k: 3, p: 4, rounds: 4, seed: 103,
+		filter:        aggregate.TrimmedMean{Beta: 0.25},
+		minModels:     3,
+		crashAfter:    map[int]int{3: crashRounds},
+		psTimeout:     5 * time.Second,
+		clientTimeout: 2 * time.Second,
+	}
+	params, stats, clientStats := runChaos(t, o)
+	for i := 1; i < o.k; i++ {
+		assertSameParams(t, [][]float64{params[0]}, [][]float64{params[i]}, "client agreement")
+	}
+	for id, st := range clientStats {
+		if len(st) != o.rounds {
+			t.Fatalf("client %d completed %d rounds, want %d", id, len(st), o.rounds)
+		}
+		for _, rs := range st {
+			if rs.Round < crashRounds {
+				if rs.Degraded || rs.ModelsReceived != o.p {
+					t.Fatalf("client %d round %d: degraded before the crash: %+v", id, rs.Round, rs)
+				}
+			} else if !rs.Degraded || rs.ModelsReceived != o.p-1 {
+				t.Fatalf("client %d round %d: shortfall not surfaced: %+v", id, rs.Round, rs)
+			}
+		}
+	}
+	if stats[3].RoundsServed != crashRounds {
+		t.Fatalf("crashed PS served %d rounds, want %d", stats[3].RoundsServed, crashRounds)
+	}
+
+	again, _, _ := runChaos(t, o)
+	assertSameParams(t, params, again, "seeded rerun")
+}
+
+// TestChaosCrashPlusByzantine is the integration acceptance criterion:
+// P=5, B=1 Byzantine PS, plus one benign PS crashed mid-run. Every
+// round's filtered model must stay within the coordinate-wise bounds of
+// the benign models that actually arrived (Lemma 2 under partial
+// participation), and the run must stay deterministic.
+func TestChaosCrashPlusByzantine(t *testing.T) {
+	const byzID = 4
+	var mu sync.Mutex
+	violations := 0
+	o := chaosOpts{
+		k: 4, p: 5, rounds: 4, seed: 104,
+		filter:        aggregate.TrimmedMean{Beta: 0.2},
+		minModels:     3,
+		crashAfter:    map[int]int{2: 2},
+		byz:           map[int]attack.Attack{byzID: attack.Noise{Sigma: 10}},
+		psTimeout:     5 * time.Second,
+		clientTimeout: 2 * time.Second,
+		onRound: func(client, round int, received map[int][]float64, filtered []float64) {
+			dim := len(filtered)
+			for j := 0; j < dim; j++ {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for ps, vec := range received {
+					if ps == byzID {
+						continue
+					}
+					lo = math.Min(lo, vec[j])
+					hi = math.Max(hi, vec[j])
+				}
+				if filtered[j] < lo-1e-9 || filtered[j] > hi+1e-9 {
+					mu.Lock()
+					violations++
+					mu.Unlock()
+					return
+				}
+			}
+		},
+	}
+	params, _, clientStats := runChaos(t, o)
+	if violations != 0 {
+		t.Fatalf("filtered model left the benign coordinate bounds in %d rounds", violations)
+	}
+	for i := 1; i < o.k; i++ {
+		assertSameParams(t, [][]float64{params[0]}, [][]float64{params[i]}, "client agreement")
+	}
+	for id, st := range clientStats {
+		if len(st) != o.rounds {
+			t.Fatalf("client %d completed %d rounds, want %d", id, len(st), o.rounds)
+		}
+		if !st[o.rounds-1].Degraded || st[o.rounds-1].ModelsReceived != o.p-1 {
+			t.Fatalf("client %d final round not degraded to P-1: %+v", id, st[o.rounds-1])
+		}
+	}
+
+	again, _, _ := runChaos(t, o)
+	assertSameParams(t, params, again, "seeded rerun")
+}
+
+// TestChaosCrashRestart: a PS crashes after two rounds and is restarted
+// at the round its clients will send next; redialling clients must fold
+// it back into the federation and finish all rounds.
+func TestChaosCrashRestart(t *testing.T) {
+	const k, p, rounds, seed = 3, 2, 6, 105
+	const crashRounds = 2 // ps1 serves rounds 0-1, misses round 2, rejoins at 3
+	learners := makeLearners(t, k, seed)
+
+	ps0, err := NewPS(PSConfig{
+		ID: 0, ListenAddr: "127.0.0.1:0", Clients: k, Rounds: rounds,
+		Seed: seed, Timeout: 5 * time.Second, Tolerant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps1, err := NewPS(PSConfig{
+		ID: 1, ListenAddr: "127.0.0.1:0", Clients: k, Rounds: rounds,
+		Seed: seed, Timeout: 5 * time.Second, Tolerant: true,
+		CrashAfterRound: crashRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ps0.Addr(), ps1.Addr()}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, k+3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ps0.Serve(); err != nil {
+			errCh <- err
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ps1.Serve(); !errors.Is(err, ErrCrashed) {
+			errCh <- err
+			return
+		}
+		// Restart on the same address, rejoining at the round the
+		// clients send after their degraded round.
+		restarted, err := NewPS(PSConfig{
+			ID: 1, ListenAddr: addrs[1], Clients: k, Rounds: rounds,
+			StartRound: crashRounds + 1,
+			Seed:       seed, Timeout: 5 * time.Second, Tolerant: true,
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		if err := restarted.Serve(); err != nil {
+			errCh <- err
+		}
+	}()
+
+	clientStats := make([][]ClientRoundStats, k)
+	for id, l := range learners {
+		wg.Add(1)
+		go func(id int, l core.Learner) {
+			defer wg.Done()
+			st, err := RunClient(ClientConfig{
+				ID: id, Learner: l, Servers: addrs,
+				Rounds: rounds, LocalSteps: 2,
+				Filter: aggregate.Mean{}, Schedule: nn.ConstantLR(0.3),
+				Seed: seed, Timeout: 2 * time.Second,
+				MinModels: 1, Redial: true,
+				DialAttempts: 5, DialBackoff: 50 * time.Millisecond,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			clientStats[id] = st
+		}(id, l)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("crash-restart run failed: %v", err)
+	}
+
+	for id, st := range clientStats {
+		if len(st) != rounds {
+			t.Fatalf("client %d completed %d rounds, want %d", id, len(st), rounds)
+		}
+		for _, rs := range st {
+			degradedRound := rs.Round == crashRounds
+			if degradedRound != rs.Degraded {
+				t.Fatalf("client %d round %d: Degraded = %v, want %v (stats %+v)",
+					id, rs.Round, rs.Degraded, degradedRound, rs)
+			}
+		}
+	}
+	p0 := learners[0].Params()
+	for i := 1; i < k; i++ {
+		pi := learners[i].Params()
+		for j := range p0 {
+			if p0[j] != pi[j] {
+				t.Fatalf("clients diverged after crash-restart (param %d)", j)
+			}
+		}
+	}
+
+}

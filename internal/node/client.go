@@ -1,7 +1,9 @@
 package node
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"fedms/internal/aggregate"
@@ -10,6 +12,9 @@ import (
 	"fedms/internal/nn"
 	"fedms/internal/transport"
 )
+
+// maxDialBackoff caps the exponential dial backoff.
+const maxDialBackoff = time.Second
 
 // ClientConfig configures one federated client node.
 type ClientConfig struct {
@@ -42,6 +47,33 @@ type ClientConfig struct {
 	// EvalEvery, if positive, evaluates the learner every that many
 	// rounds and records the result in the returned stats.
 	EvalEvery int
+	// MinModels enables graceful degradation: a round succeeds when at
+	// least MinModels global models arrive, and a short round (P' < P)
+	// falls back to trimming over the survivors with the same per-side
+	// trim count the full filter would use — the paper's β = B/P
+	// semantics, so up to B Byzantine models are still discarded. Keep
+	// it ≥ 2B+1 or the degraded filter loses its guarantee. Zero is the
+	// strict protocol: all P models required, any fault fatal.
+	MinModels int
+	// Faults, when non-nil, injects deterministic transport faults into
+	// this client's upload links (labelled "c<ID>->ps<i>"). The hello
+	// handshake is never faulted.
+	Faults *transport.FaultInjector
+	// Redial, in tolerant mode, re-dials dead parameter servers at the
+	// start of each round so a crashed-and-restarted PS rejoins the
+	// federation.
+	Redial bool
+	// DialAttempts bounds connection attempts per server (default 3),
+	// spaced by capped exponential backoff.
+	DialAttempts int
+	// DialBackoff is the initial retry backoff (default 50ms, doubled
+	// per attempt, capped at 1s).
+	DialBackoff time.Duration
+	// OnRound, when non-nil, observes every completed round: the global
+	// models that actually arrived (keyed by PS id) and the filtered
+	// result. The chaos tests use it to check the filter output against
+	// benign coordinate bounds; callers must not mutate the arguments.
+	OnRound func(round int, received map[int][]float64, filtered []float64)
 }
 
 // ClientRoundStats records one round as seen by a client node.
@@ -54,6 +86,125 @@ type ClientRoundStats struct {
 	// UploadedTo is the PS that received this client's model (-1 for
 	// full upload).
 	UploadedTo int
+	// ModelsReceived counts the global models that arrived this round
+	// (P when nothing was lost).
+	ModelsReceived int
+	// Degraded reports that fewer than P models arrived and the filter
+	// fell back to trimming over the survivors.
+	Degraded bool
+}
+
+// dialPS connects to server i with capped exponential backoff, performs
+// the hello handshake, and attaches the fault link.
+func dialPS(cfg *ClientConfig, i int, addr string, hello []float64) (*transport.Conn, error) {
+	backoff := cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxDialBackoff {
+				backoff = maxDialBackoff
+			}
+		}
+		conn, err := transport.Dial(addr, cfg.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		conn.SetKey(cfg.Key)
+		msg := &transport.Message{
+			Type:   transport.TypeHello,
+			Sender: uint32(cfg.ID),
+			Flag:   uint32(cfg.ID),
+			Vec:    hello,
+		}
+		if err := conn.Send(msg); err != nil {
+			_ = conn.Close()
+			lastErr = err
+			continue
+		}
+		if cfg.Faults != nil {
+			conn.SetFaults(cfg.Faults.Link(fmt.Sprintf("c%d->ps%d", cfg.ID, i)))
+		}
+		return conn, nil
+	}
+	return nil, lastErr
+}
+
+// recvResult is one PS's contribution to the dissemination barrier.
+type recvResult struct {
+	vec     []float64
+	missing bool
+	dead    bool
+	err     error
+}
+
+// recvModel reads PS i's round-r global model, skipping corrupt and
+// stale frames in tolerant mode. When this round's model was lost and
+// the PS has already broadcast a later round, the future frame is
+// parked in *pending (consumed first on the next call) instead of
+// condemning a healthy connection.
+func recvModel(conn *transport.Conn, pending **transport.Message, psID, round int, tolerant bool) recvResult {
+	for tries := 0; tries < maxBadFrames; tries++ {
+		var m *transport.Message
+		var err error
+		if *pending != nil {
+			m, *pending = *pending, nil
+		} else {
+			m, err = conn.Recv()
+		}
+		if err != nil {
+			if tolerant {
+				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) {
+					continue
+				}
+				if isTimeout(err) {
+					return recvResult{missing: true, err: err}
+				}
+			}
+			return recvResult{dead: true, err: err}
+		}
+		if tolerant && m.Type == transport.TypeGlobalModel {
+			if int(m.Round) < round {
+				// A duplicated or delayed model from an earlier round.
+				continue
+			}
+			if int(m.Round) > round {
+				// This round's model was dropped and the PS moved on.
+				// The frame we hold is next round's model: keep it.
+				*pending = m
+				return recvResult{missing: true,
+					err: fmt.Errorf("PS %d already broadcast round %d", psID, m.Round)}
+			}
+		}
+		if m.Type != transport.TypeGlobalModel || int(m.Round) != round {
+			return recvResult{dead: true,
+				err: fmt.Errorf("unexpected %s (round %d) from PS %d", m.Type, m.Round, psID)}
+		}
+		return recvResult{vec: m.Vec}
+	}
+	return recvResult{missing: true, err: errors.New("too many unreadable frames")}
+}
+
+// degradedTrim rebuilds the filter for a round where only got < total
+// models arrived. A TrimmedMean keeps its absolute per-side trim count
+// from the full federation (⌊β·P⌋ = B), so the degraded round still
+// discards up to B Byzantine survivors — the paper's filter semantics
+// under partial participation. Other rules apply unchanged.
+func degradedTrim(f aggregate.Rule, total, got int) (aggregate.Rule, error) {
+	tm, ok := f.(aggregate.TrimmedMean)
+	if !ok {
+		return f, nil
+	}
+	m := tm.TrimCount(total)
+	if m == 0 {
+		return tm, nil
+	}
+	if 2*m >= got {
+		return nil, fmt.Errorf("%d models cannot absorb a trim of %d per side", got, m)
+	}
+	return aggregate.TrimmedMean{Trim: m}, nil
 }
 
 // RunClient executes the client side of the protocol to completion and
@@ -65,12 +216,25 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	if len(cfg.Servers) == 0 {
 		return nil, fmt.Errorf("node: client %d has no servers", cfg.ID)
 	}
+	p := len(cfg.Servers)
+	if cfg.MinModels > p {
+		return nil, fmt.Errorf("node: client %d MinModels %d exceeds P=%d", cfg.ID, cfg.MinModels, p)
+	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 3
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 50 * time.Millisecond
+	}
+	tolerant := cfg.MinModels > 0
 
-	p := len(cfg.Servers)
 	conns := make([]*transport.Conn, p)
+	// pendings[i] parks a future-round model read early from PS i (see
+	// recvModel); it never outlives the connection it was read from.
+	pendings := make([]*transport.Message, p)
 	defer func() {
 		for _, c := range conns {
 			if c != nil {
@@ -78,28 +242,48 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			}
 		}
 	}()
+	markDead := func(i int) {
+		if conns[i] != nil {
+			_ = conns[i].Close()
+			conns[i] = nil
+		}
+		pendings[i] = nil
+	}
+
 	w0 := cfg.Learner.Params()
+	liveCount := 0
 	for i, addr := range cfg.Servers {
-		conn, err := transport.Dial(addr, cfg.Timeout)
+		conn, err := dialPS(&cfg, i, addr, w0)
 		if err != nil {
-			return nil, fmt.Errorf("node: client %d: %w", cfg.ID, err)
+			if !tolerant {
+				return nil, fmt.Errorf("node: client %d: %w", cfg.ID, err)
+			}
+			continue
 		}
-		conn.SetKey(cfg.Key)
 		conns[i] = conn
-		hello := &transport.Message{
-			Type:   transport.TypeHello,
-			Sender: uint32(cfg.ID),
-			Flag:   uint32(cfg.ID),
-			Vec:    w0,
-		}
-		if err := conn.Send(hello); err != nil {
-			return nil, fmt.Errorf("node: client %d hello to PS %d: %w", cfg.ID, i, err)
-		}
+		liveCount++
+	}
+	if tolerant && liveCount < cfg.MinModels {
+		return nil, fmt.Errorf("node: client %d: only %d of %d servers reachable (need ≥ %d)",
+			cfg.ID, liveCount, p, cfg.MinModels)
 	}
 
 	stats := make([]ClientRoundStats, 0, cfg.Rounds)
 	for round := 0; round < cfg.Rounds; round++ {
 		st := ClientRoundStats{Round: round, UploadedTo: -1}
+
+		// Rejoin restarted servers before the round barrier forms.
+		if tolerant && cfg.Redial && round > 0 {
+			for i, conn := range conns {
+				if conn != nil {
+					continue
+				}
+				if c, err := dialPS(&cfg, i, cfg.Servers[i], cfg.Learner.Params()); err == nil {
+					conns[i] = c
+					pendings[i] = nil
+				}
+			}
+		}
 
 		var roundStart []float64
 		if cfg.UploadAttack != nil {
@@ -130,6 +314,9 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			st.UploadedTo = choice
 		}
 		for i, conn := range conns {
+			if conn == nil {
+				continue
+			}
 			msg := &transport.Message{
 				Type:   transport.TypeUpload,
 				Round:  uint32(round),
@@ -140,30 +327,82 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				msg.Vec = params
 			}
 			if err := conn.Send(msg); err != nil {
-				return stats, fmt.Errorf("node: client %d round %d upload to PS %d: %w", cfg.ID, round, i, err)
+				if !tolerant {
+					return stats, fmt.Errorf("node: client %d round %d upload to PS %d: %w", cfg.ID, round, i, err)
+				}
+				markDead(i)
 			}
 		}
 
-		// Model dissemination stage: receive one global model per PS.
-		received := make([][]float64, p)
+		// Model dissemination stage: receive one global model per live
+		// PS, in parallel so a slow or silent server costs one timeout,
+		// not P of them.
+		results := make([]recvResult, p)
+		var wg sync.WaitGroup
 		for i, conn := range conns {
-			m, err := conn.Recv()
-			if err != nil {
-				return stats, fmt.Errorf("node: client %d round %d recv from PS %d: %w", cfg.ID, round, i, err)
+			if conn == nil {
+				continue
 			}
-			if m.Type != transport.TypeGlobalModel || int(m.Round) != round {
-				return stats, fmt.Errorf("node: client %d round %d: unexpected %s (round %d) from PS %d", cfg.ID, round, m.Type, m.Round, i)
-			}
-			received[m.Sender] = m.Vec
+			wg.Add(1)
+			go func(i int, conn *transport.Conn) {
+				defer wg.Done()
+				results[i] = recvModel(conn, &pendings[i], i, round, tolerant)
+			}(i, conn)
 		}
-		for i, vec := range received {
-			if vec == nil {
-				return stats, fmt.Errorf("node: client %d round %d: no model from PS %d", cfg.ID, round, i)
+		wg.Wait()
+
+		received := make(map[int][]float64, p)
+		for i := range conns {
+			if conns[i] == nil {
+				continue
+			}
+			r := results[i]
+			switch {
+			case r.dead || (r.missing && !tolerant):
+				if !tolerant {
+					return stats, fmt.Errorf("node: client %d round %d recv from PS %d: %w", cfg.ID, round, i, r.err)
+				}
+				if r.dead {
+					markDead(i)
+				}
+			case r.missing:
+				// Keep the connection: the frame was lost, not the peer.
+			default:
+				received[i] = r.vec
 			}
 		}
 
-		// Model filter: trmean over the P received models.
-		cfg.Learner.SetParams(cfg.Filter.Aggregate(received))
+		got := len(received)
+		if got < p && !tolerant {
+			return stats, fmt.Errorf("node: client %d round %d: only %d of %d global models", cfg.ID, round, got, p)
+		}
+		if tolerant && got < cfg.MinModels {
+			return stats, fmt.Errorf("node: client %d round %d: only %d of %d global models (need ≥ %d)",
+				cfg.ID, round, got, p, cfg.MinModels)
+		}
+
+		// Model filter: trmean over the P' ≤ P received models, in
+		// ascending server order (bitwise engine parity when P' = P).
+		models := make([][]float64, 0, got)
+		for i := 0; i < p; i++ {
+			if vec, ok := received[i]; ok {
+				models = append(models, vec)
+			}
+		}
+		rule := cfg.Filter
+		if got < p {
+			var err error
+			if rule, err = degradedTrim(cfg.Filter, p, got); err != nil {
+				return stats, fmt.Errorf("node: client %d round %d: %w", cfg.ID, round, err)
+			}
+		}
+		filtered := rule.Aggregate(models)
+		cfg.Learner.SetParams(filtered)
+		st.ModelsReceived = got
+		st.Degraded = got < p
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, received, filtered)
+		}
 
 		if cfg.EvalEvery > 0 && (round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1) {
 			st.TestLoss, st.TestAcc = cfg.Learner.Evaluate()

@@ -15,6 +15,13 @@
 // shared experiment seed exactly as in the in-process engine
 // (internal/core), so a distributed run reproduces the engine's results
 // bit-for-bit — a property the integration tests assert.
+//
+// Fault tolerance is opt-in and layered on the same protocol: a
+// Tolerant PS absorbs missing, corrupt and late uploads (the partial-
+// participation term of the paper's analysis already budgets for
+// missing models), a client with MinModels > 0 degrades gracefully when
+// only P' < P global models arrive, and transport.FaultInjector drives
+// deterministic chaos through both (see the chaos test tier).
 package node
 
 import (
@@ -35,6 +42,15 @@ import (
 // Timeout zero.
 const DefaultTimeout = 10 * time.Second
 
+// maxBadFrames bounds how many consecutive corrupt or stale frames a
+// tolerant reader skips before declaring the peer missing for the
+// round, so a flood of garbage cannot stall a round forever.
+const maxBadFrames = 8
+
+// ErrCrashed reports a parameter server that was crashed mid-protocol
+// (via Crash or CrashAfterRound).
+var ErrCrashed = errors.New("node: PS crashed")
+
 // PSConfig configures one parameter-server node.
 type PSConfig struct {
 	// ID is the server index in [0, P).
@@ -46,6 +62,11 @@ type PSConfig struct {
 	Clients int
 	// Rounds is the number of federated rounds to serve.
 	Rounds int
+	// StartRound is the first round index served (default 0). A
+	// restarted server sets it to the round its rejoining clients will
+	// send next, so a crash-restart cycle re-enters the protocol
+	// mid-sequence.
+	StartRound int
 	// Attack, when non-nil, makes this PS Byzantine with the given
 	// behaviour.
 	Attack attack.Attack
@@ -60,6 +81,22 @@ type PSConfig struct {
 	Key []byte
 	// Timeout bounds each frame send/receive.
 	Timeout time.Duration
+	// Tolerant keeps the server running when clients time out, send
+	// corrupt frames, or disconnect: a missing upload counts as a skip
+	// (the sparse barrier already admits empty frames) and a dead
+	// connection is removed from the round barrier. The default strict
+	// mode aborts Serve on any client fault — the paper's synchronous
+	// model.
+	Tolerant bool
+	// Faults, when non-nil, injects deterministic transport faults into
+	// this server's dissemination links (labelled "ps<ID>->c<k>"). The
+	// hello handshake is never faulted.
+	Faults *transport.FaultInjector
+	// CrashAfterRound, when positive, crashes the server abruptly —
+	// closing the listener and every client connection — after serving
+	// that many rounds. The deterministic crash hook of the chaos
+	// tests; Serve returns ErrCrashed.
+	CrashAfterRound int
 }
 
 // PS is a running parameter-server node.
@@ -67,10 +104,12 @@ type PS struct {
 	cfg PSConfig
 	ln  net.Listener
 
-	mu      sync.Mutex
-	lastAgg []float64
-	history [][]float64
-	stats   PSStats
+	mu       sync.Mutex
+	crashed  bool
+	accepted []*transport.Conn // every conn ever accepted, for Crash
+	lastAgg  []float64
+	history  [][]float64
+	stats    PSStats
 }
 
 // PSStats reports a server's lifetime counters.
@@ -79,6 +118,13 @@ type PSStats struct {
 	RoundsServed int
 	// UploadsReceived counts non-empty model uploads.
 	UploadsReceived int
+	// UploadsMissed counts round slots where a client's upload never
+	// arrived (timeout or unrecoverable corruption) — tolerant mode
+	// only; strict mode aborts instead.
+	UploadsMissed int
+	// ClientsLost counts connections dropped mid-protocol (tolerant
+	// mode only).
+	ClientsLost int
 	// FloatsIn and FloatsOut count model elements received/sent.
 	FloatsIn  int
 	FloatsOut int
@@ -89,6 +135,12 @@ type PSStats struct {
 func NewPS(cfg PSConfig) (*PS, error) {
 	if cfg.Clients <= 0 || cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("node: PS %d needs positive Clients and Rounds", cfg.ID)
+	}
+	if cfg.StartRound < 0 || cfg.StartRound >= cfg.Rounds {
+		return nil, fmt.Errorf("node: PS %d StartRound %d out of range [0,%d)", cfg.ID, cfg.StartRound, cfg.Rounds)
+	}
+	if cfg.CrashAfterRound < 0 {
+		return nil, fmt.Errorf("node: PS %d CrashAfterRound must be non-negative", cfg.ID)
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
@@ -109,6 +161,27 @@ func (p *PS) Addr() string { return p.ln.Addr().String() }
 // Close shuts the listener (interrupting Serve's accept phase).
 func (p *PS) Close() error { return p.ln.Close() }
 
+// Crash abruptly terminates the server: the listener and every client
+// connection close mid-protocol and Serve returns ErrCrashed. Clients
+// see reset connections, exactly like a real process kill. Safe to call
+// from any goroutine, at any time.
+func (p *PS) Crash() {
+	p.mu.Lock()
+	p.crashed = true
+	conns := append([]*transport.Conn(nil), p.accepted...)
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+func (p *PS) isCrashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
 // Stats returns a snapshot of the server's lifetime counters.
 func (p *PS) Stats() PSStats {
 	p.mu.Lock()
@@ -116,13 +189,19 @@ func (p *PS) Stats() PSStats {
 	return p.stats
 }
 
-// Serve runs the full protocol: accept K clients, serve Rounds rounds,
-// close. It returns the first fatal error (a crashed or timed-out
-// client aborts the round — the synchronous model of the paper).
+// Serve runs the full protocol: accept K clients, serve rounds
+// StartRound..Rounds-1, close. In strict mode it returns the first
+// fatal error (a crashed or timed-out client aborts the round — the
+// synchronous model of the paper); in Tolerant mode it serves every
+// round it can and fails only when no live clients remain. A crashed
+// server returns ErrCrashed.
 func (p *PS) Serve() error {
 	defer p.ln.Close()
 
 	conns := make([]*transport.Conn, p.cfg.Clients)
+	// pending[id] parks a future-round upload read early from client id
+	// (see recvUpload); it never outlives its connection.
+	pending := make([]*transport.Message, p.cfg.Clients)
 	defer func() {
 		for _, c := range conns {
 			if c != nil {
@@ -132,10 +211,14 @@ func (p *PS) Serve() error {
 	}()
 
 	// Accept phase: each client introduces itself with Hello{flag=id}
-	// carrying the shared initial model w_0.
+	// carrying the shared initial model w_0 (a rejoining client sends
+	// its current model instead, seeding lastAgg for empty rounds).
 	for accepted := 0; accepted < p.cfg.Clients; accepted++ {
 		raw, err := p.ln.Accept()
 		if err != nil {
+			if p.isCrashed() {
+				return ErrCrashed
+			}
 			return fmt.Errorf("node: PS %d accept: %w", p.cfg.ID, err)
 		}
 		conn := transport.NewConn(raw)
@@ -152,56 +235,138 @@ func (p *PS) Serve() error {
 		if id < 0 || id >= p.cfg.Clients || conns[id] != nil {
 			return fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)
 		}
+		if p.cfg.Faults != nil {
+			conn.SetFaults(p.cfg.Faults.Link(fmt.Sprintf("ps%d->c%d", p.cfg.ID, id)))
+		}
 		conns[id] = conn
+		p.mu.Lock()
+		p.accepted = append(p.accepted, conn)
+		crashed := p.crashed
 		if p.lastAgg == nil && len(hello.Vec) > 0 {
 			p.lastAgg = append([]float64(nil), hello.Vec...)
 		}
+		p.mu.Unlock()
+		if crashed {
+			return ErrCrashed
+		}
 	}
 
-	for round := 0; round < p.cfg.Rounds; round++ {
-		if err := p.serveRound(round, conns); err != nil {
+	for round := p.cfg.StartRound; round < p.cfg.Rounds; round++ {
+		if err := p.serveRound(round, conns, pending); err != nil {
+			if p.isCrashed() {
+				return ErrCrashed
+			}
 			return err
+		}
+		if p.cfg.CrashAfterRound > 0 && round-p.cfg.StartRound+1 >= p.cfg.CrashAfterRound {
+			p.Crash()
+			return ErrCrashed
 		}
 	}
 	return nil
 }
 
-// serveRound implements one aggregation + dissemination round.
-func (p *PS) serveRound(round int, conns []*transport.Conn) error {
-	type upload struct {
-		client int
-		vec    []float64
-		err    error
+// upload is one client's contribution to a round barrier.
+type upload struct {
+	client int
+	vec    []float64
+	// missed marks a slot whose frame never arrived (timeout or too
+	// much corruption); the connection stays live.
+	missed bool
+	// dead marks an unrecoverable connection.
+	dead bool
+	err  error
+}
+
+// recvUpload reads client id's round-r upload, skipping corrupt and
+// stale frames in tolerant mode. When this round's upload was lost and
+// the client has already sent a later round's, the future frame is
+// parked in *pending (consumed first on the next call) instead of
+// condemning a healthy connection.
+func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport.Message) upload {
+	for tries := 0; tries < maxBadFrames; tries++ {
+		var m *transport.Message
+		var err error
+		if *pending != nil {
+			m, *pending = *pending, nil
+		} else {
+			m, err = conn.Recv()
+		}
+		if err != nil {
+			if p.cfg.Tolerant {
+				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) {
+					// The stream is still frame-aligned: skip the
+					// mangled frame and keep reading.
+					continue
+				}
+				if isTimeout(err) {
+					return upload{client: id, missed: true, err: err}
+				}
+			}
+			return upload{client: id, dead: true, err: err}
+		}
+		if p.cfg.Tolerant && m.Type == transport.TypeUpload {
+			if int(m.Round) < round {
+				// A duplicated or delayed frame from an earlier round.
+				continue
+			}
+			if int(m.Round) > round {
+				// This round's upload was dropped and the client moved
+				// on. The frame we hold is a later round's: keep it.
+				*pending = m
+				return upload{client: id, missed: true,
+					err: fmt.Errorf("client %d already at round %d", id, m.Round)}
+			}
+		}
+		if m.Type != transport.TypeUpload || int(m.Round) != round {
+			return upload{client: id, dead: true,
+				err: fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)}
+		}
+		if m.Flag == 1 {
+			return upload{client: id, vec: m.Vec}
+		}
+		return upload{client: id}
 	}
+	return upload{client: id, missed: true, err: errors.New("too many unreadable frames")}
+}
+
+// serveRound implements one aggregation + dissemination round.
+func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport.Message) error {
+	live := 0
 	results := make(chan upload, len(conns))
 	for id, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		live++
 		go func(id int, conn *transport.Conn) {
-			m, err := conn.Recv()
-			if err != nil {
-				results <- upload{client: id, err: err}
-				return
-			}
-			if m.Type != transport.TypeUpload || int(m.Round) != round {
-				results <- upload{client: id, err: fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)}
-				return
-			}
-			if m.Flag == 1 {
-				results <- upload{client: id, vec: m.Vec}
-			} else {
-				results <- upload{client: id}
-			}
+			results <- p.recvUpload(id, round, conn, &pending[id])
 		}(id, conn)
+	}
+	if live == 0 {
+		return fmt.Errorf("node: PS %d round %d: no live clients", p.cfg.ID, round)
 	}
 
 	var members []int
+	var missed, lost int
 	vecs := make(map[int][]float64)
 	var firstErr error
-	for range conns {
+	for i := 0; i < live; i++ {
 		u := <-results
-		if u.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("node: PS %d round %d: client %d: %w", p.cfg.ID, round, u.client, u.err)
-		}
-		if u.vec != nil {
+		switch {
+		case u.dead && !p.cfg.Tolerant:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node: PS %d round %d: client %d: %w", p.cfg.ID, round, u.client, u.err)
+			}
+		case u.dead:
+			_ = conns[u.client].Close()
+			conns[u.client] = nil
+			pending[u.client] = nil
+			lost++
+			missed++
+		case u.missed:
+			missed++
+		case u.vec != nil:
 			members = append(members, u.client)
 			vecs[u.client] = u.vec
 		}
@@ -234,10 +399,11 @@ func (p *PS) serveRound(round int, conns []*transport.Conn) error {
 	p.lastAgg = agg
 	p.stats.RoundsServed++
 	p.stats.UploadsReceived += len(members)
+	p.stats.UploadsMissed += missed
+	p.stats.ClientsLost += lost
 	for _, k := range members {
 		p.stats.FloatsIn += len(vecs[k])
 	}
-	p.stats.FloatsOut += len(conns) * len(agg)
 	p.mu.Unlock()
 
 	// Dissemination, with Byzantine tampering where configured. The
@@ -256,9 +422,17 @@ func (p *PS) serveRound(round int, conns []*transport.Conn) error {
 		consistentTampered = p.cfg.Attack.Tamper(ctx)
 	}
 
+	type sendErr struct {
+		client int
+		err    error
+	}
 	var wg sync.WaitGroup
-	errs := make(chan error, len(conns))
+	errs := make(chan sendErr, len(conns))
+	sent := 0
 	for id, conn := range conns {
+		if conn == nil {
+			continue
+		}
 		out := agg
 		switch {
 		case p.cfg.Attack == nil:
@@ -275,6 +449,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn) error {
 			}
 			out = p.cfg.Attack.Tamper(ctx)
 		}
+		sent++
 		wg.Add(1)
 		go func(id int, conn *transport.Conn, vec []float64) {
 			defer wg.Done()
@@ -285,23 +460,38 @@ func (p *PS) serveRound(round int, conns []*transport.Conn) error {
 				Vec:    vec,
 			})
 			if err != nil {
-				errs <- fmt.Errorf("node: PS %d round %d: send to client %d: %w", p.cfg.ID, round, id, err)
+				errs <- sendErr{client: id, err: err}
 			}
 		}(id, conn, out)
 	}
 	wg.Wait()
 	close(errs)
-	p.history = append(p.history, agg)
-	return firstOf(errs)
-}
 
-func firstOf(errs <-chan error) error {
-	for err := range errs {
-		if err != nil {
-			return err
+	p.mu.Lock()
+	p.stats.FloatsOut += sent * len(agg)
+	p.mu.Unlock()
+	p.history = append(p.history, agg)
+
+	for e := range errs {
+		if !p.cfg.Tolerant {
+			return fmt.Errorf("node: PS %d round %d: send to client %d: %w", p.cfg.ID, round, e.client, e.err)
+		}
+		if conns[e.client] != nil {
+			_ = conns[e.client].Close()
+			conns[e.client] = nil
+			p.mu.Lock()
+			p.stats.ClientsLost++
+			p.mu.Unlock()
 		}
 	}
 	return nil
+}
+
+// isTimeout reports whether err is a network timeout (deadline
+// exceeded), as opposed to a dead connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // ErrAborted reports a node shut down by its peer.

@@ -57,6 +57,12 @@ func (c *Conn) recvAuthenticated() (*Message, error) {
 	var frame capture
 	m, err := Decode(io.TeeReader(c.br, &frame))
 	if err != nil {
+		if errors.Is(err, ErrBadChecksum) {
+			// The frame body was fully consumed; discard its trailing
+			// tag too so the stream stays frame-aligned and a tolerant
+			// reader can skip the corrupt frame and keep going.
+			_, _ = io.CopyN(io.Discard, c.br, MACSize)
+		}
 		return nil, err
 	}
 	tag := make([]byte, MACSize)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -14,6 +15,30 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xD5, 0xFE, 1, 2})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	// Frames as the fault injector actually damages them: truncated
+	// mid-payload, one payload bit flipped, flipped CRC bytes, and
+	// length prefixes rewritten to absurd values.
+	base := Encode(&Message{Type: TypeUpload, Round: 9, Sender: 2, Flag: 1,
+		Text: "chaos", Vec: []float64{1.5, -2.5, 3.25}})
+	fi := NewFaultInjector(FaultConfig{Seed: 99, Truncate: 1})
+	if trunc, ev := fi.Link("fuzz").Mutate(base); ev.Kind == FaultTruncate {
+		f.Add(trunc)
+	}
+	fi = NewFaultInjector(FaultConfig{Seed: 99, Corrupt: 1})
+	if corr, ev := fi.Link("fuzz").Mutate(base); ev.Kind == FaultCorrupt {
+		f.Add(corr)
+	}
+	crcFlip := append([]byte(nil), base...)
+	crcFlip[len(crcFlip)-1] ^= 0xA5
+	crcFlip[len(crcFlip)-4] ^= 0x5A
+	f.Add(crcFlip)
+	overVec := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(overVec[20:], uint32(MaxVecLen+1))
+	f.Add(overVec)
+	overText := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(overText[16:], uint32(MaxTextLen+1))
+	f.Add(overText)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))
