@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos fuzz
+.PHONY: build test verify race chaos fuzz bench
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,9 @@ chaos:
 # damaged frames).
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/transport/
+
+# Performance trajectory: micro-benchmarks over the aggregation rules,
+# the wire encoder and the full round, written to BENCH_fedms.json (see
+# EXPERIMENTS.md "Performance"). Run on an otherwise idle machine.
+bench:
+	$(GO) run ./cmd/fedms-bench -exp perf -benchout BENCH_fedms.json

@@ -12,9 +12,12 @@
 //	fedms-bench -exp commcost           # sparse vs full upload traffic
 //	fedms-bench -exp ablation           # filter + upload ablations
 //	fedms-bench -exp all                # everything
+//	fedms-bench -exp perf               # perf pass -> BENCH_fedms.json
 //
 // -quick shrinks rounds/clients for a fast smoke pass; -csvdir writes
-// each experiment's series as CSV files.
+// each experiment's series as CSV files. The perf pass is not part of
+// "all" (it measures wall-clock and should run on an otherwise idle
+// machine — see `make bench`); -benchout sets its JSON output path.
 package main
 
 import (
@@ -39,15 +42,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedms-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|ablation|stats|sweep|all")
-		attack  = fs.String("attack", "", "restrict fig2 to one attack (noise|random|safeguard|backward)")
-		quick   = fs.Bool("quick", false, "shrink rounds and dataset for a fast smoke pass")
-		seed    = fs.Uint64("seed", 1, "experiment seed")
-		rounds  = fs.Int("rounds", 0, "override training rounds (0 = paper's 60)")
-		csvdir  = fs.String("csvdir", "", "write per-experiment CSV files to this directory")
-		asPlot  = fs.Bool("plot", false, "render each experiment as an ASCII chart in addition to the table")
-		evalStr = fs.Int("eval", 0, "evaluate every N rounds (0 = 5)")
-		seeds   = fs.Int("seeds", 3, "seed repetitions for the stats experiment")
+		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|ablation|stats|sweep|perf|all")
+		attack   = fs.String("attack", "", "restrict fig2 to one attack (noise|random|safeguard|backward)")
+		quick    = fs.Bool("quick", false, "shrink rounds and dataset for a fast smoke pass")
+		seed     = fs.Uint64("seed", 1, "experiment seed")
+		rounds   = fs.Int("rounds", 0, "override training rounds (0 = paper's 60)")
+		csvdir   = fs.String("csvdir", "", "write per-experiment CSV files to this directory")
+		asPlot   = fs.Bool("plot", false, "render each experiment as an ASCII chart in addition to the table")
+		evalStr  = fs.Int("eval", 0, "evaluate every N rounds (0 = 5)")
+		seeds    = fs.Int("seeds", 3, "seed repetitions for the stats experiment")
+		benchout = fs.String("benchout", "BENCH_fedms.json", "output path for the perf experiment's JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -241,6 +245,14 @@ func run(args []string) error {
 		}
 	}
 
+	if *exp == "perf" {
+		// Deliberately excluded from "all": wall-clock measurements want
+		// an idle machine, and the JSON report is a build artifact.
+		if err := runPerf(out, *benchout, *seed, *quick); err != nil {
+			return err
+		}
+	}
+
 	if !anyKnown(*exp) {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -257,7 +269,7 @@ func rounded(vals []float64) []string {
 }
 
 func anyKnown(exp string) bool {
-	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost ablation stats sweep"
+	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost ablation stats sweep perf"
 	for _, k := range strings.Fields(known) {
 		if exp == k {
 			return true

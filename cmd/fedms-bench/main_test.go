@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,6 +44,35 @@ func TestBenchCSVOutput(t *testing.T) {
 func TestBenchPlotFlag(t *testing.T) {
 	if err := run([]string{"-exp", "fig2", "-attack", "backward", "-quick", "-plot"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBenchPerfWritesValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fedms.json")
+	if err := run([]string{"-exp", "perf", "-quick", "-benchout", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_fedms.json is not valid JSON: %v", err)
+	}
+	if report.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", report.Schema, BenchSchema)
+	}
+	if len(report.Aggregate) == 0 || len(report.Transport) == 0 {
+		t.Fatalf("report is missing sections: %+v", report)
+	}
+	for _, e := range append(report.Aggregate, report.Transport...) {
+		if e.Name == "" || e.Iters <= 0 || e.NsPerOp <= 0 {
+			t.Fatalf("degenerate bench entry: %+v", e)
+		}
+	}
+	if report.Round.Rounds <= 0 || report.Round.NsPerRound <= 0 {
+		t.Fatalf("degenerate round bench: %+v", report.Round)
 	}
 }
 

@@ -1,0 +1,214 @@
+package main
+
+// perf.go implements `fedms-bench -exp perf`: a self-contained
+// micro-benchmark pass over the hot paths this repo optimizes — the
+// aggregation rules (serial vs coordinate-parallel), the wire encoder
+// (fresh vs pooled buffers), and the full training round — emitting a
+// machine-readable BENCH_fedms.json so the perf trajectory is diffable
+// across PRs (see EXPERIMENTS.md "Performance").
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"fedms"
+	"fedms/internal/aggregate"
+	"fedms/internal/randx"
+	"fedms/internal/transport"
+)
+
+// BenchSchema versions the BENCH_fedms.json layout.
+const BenchSchema = "fedms-bench/perf/v1"
+
+// BenchEntry is one measured operation.
+type BenchEntry struct {
+	// Name identifies the operation (e.g. "aggregate/trimmed_mean").
+	Name string `json:"name"`
+	// Dim is the model dimension d (0 when not applicable).
+	Dim int `json:"d,omitempty"`
+	// Inputs is the number of aggregated vectors n (0 when n/a).
+	Inputs int `json:"n,omitempty"`
+	// Workers is the parallelism knob (0 = serial path).
+	Workers int `json:"workers,omitempty"`
+	// Iters is how many operations the measurement averaged over.
+	Iters int `json:"iters"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are per-operation averages.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// RoundBench reports end-to-end round wall-clock for a small federated
+// run.
+type RoundBench struct {
+	Clients    int     `json:"clients"`
+	Servers    int     `json:"servers"`
+	Dim        int     `json:"d"`
+	Rounds     int     `json:"rounds"`
+	NsPerRound float64 `json:"ns_per_round"`
+}
+
+// BenchReport is the root of BENCH_fedms.json.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Seed       uint64       `json:"seed"`
+	Aggregate  []BenchEntry `json:"aggregate"`
+	Transport  []BenchEntry `json:"transport"`
+	Round      RoundBench   `json:"round"`
+}
+
+// measure averages fn over enough iterations to fill minTime, reporting
+// ns, allocs and bytes per op. One warm-up call precedes timing.
+func measure(minTime time.Duration, fn func()) (iters int, nsPerOp, allocsPerOp, bytesPerOp float64) {
+	fn()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < minTime {
+		fn()
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return iters, float64(elapsed.Nanoseconds()) / n,
+		float64(m1.Mallocs-m0.Mallocs) / n,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / n
+}
+
+// benchVecs builds n deterministic pseudo-model vectors of dimension d.
+func benchVecs(seed uint64, n, d int) [][]float64 {
+	r := randx.New(seed)
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, d)
+		randx.Normal(r, vecs[i], 0, 1)
+	}
+	return vecs
+}
+
+// discardConn is a net.Conn that swallows writes, isolating the frame
+// encoder from real network I/O in the transport benchmarks.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+
+// runPerf executes the benchmark pass and writes the JSON report to
+// path.
+func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
+	minTime := 200 * time.Millisecond
+	dims := []int{10_000, 100_000}
+	if quick {
+		minTime = 2 * time.Millisecond
+		dims = []int{2_048}
+	}
+	const n = 10
+	report := &BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Seed:       seed,
+	}
+
+	add := func(list *[]BenchEntry, name string, d, inputs, workers int, fn func()) {
+		iters, ns, allocs, bytes := measure(minTime, fn)
+		e := BenchEntry{
+			Name: name, Dim: d, Inputs: inputs, Workers: workers,
+			Iters: iters, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
+		}
+		*list = append(*list, e)
+		fmt.Fprintf(out, "  %-40s d=%-7d n=%-3d workers=%-2d %12.0f ns/op %8.1f allocs/op\n",
+			name, d, inputs, workers, ns, allocs)
+	}
+
+	fmt.Fprintln(out, "Performance pass (aggregate rules):")
+	for _, d := range dims {
+		vecs := benchVecs(seed, n, d)
+		for _, workers := range []int{1, 4} {
+			tm := aggregate.TrimmedMean{Beta: 0.2, Workers: workers}
+			add(&report.Aggregate, "aggregate/trimmed_mean", d, n, workers,
+				func() { tm.Aggregate(vecs) })
+			med := aggregate.CoordinateMedian{Workers: workers}
+			add(&report.Aggregate, "aggregate/median", d, n, workers,
+				func() { med.Aggregate(vecs) })
+		}
+		mean := aggregate.Mean{}
+		add(&report.Aggregate, "aggregate/mean", d, n, 1,
+			func() { mean.Aggregate(vecs) })
+	}
+
+	fmt.Fprintln(out, "Performance pass (transport encode):")
+	{
+		d := dims[len(dims)-1]
+		msg := &transport.Message{Type: transport.TypeGlobalModel, Round: 7, Sender: 3,
+			Vec: benchVecs(seed, 1, d)[0]}
+		add(&report.Transport, "transport/encode", d, 0, 0,
+			func() { transport.Encode(msg) })
+		conn := transport.NewConn(discardConn{})
+		add(&report.Transport, "transport/conn_send", d, 0, 0,
+			func() {
+				if err := conn.Send(msg); err != nil {
+					panic(err)
+				}
+			})
+	}
+
+	fmt.Fprintln(out, "Performance pass (round wall-clock):")
+	{
+		cfg := fedms.Config{
+			Clients: 20, Servers: 5, NumByzantine: 1,
+			Rounds: 4, LocalSteps: 2, TrimBeta: 0.2,
+			Attack:    fedms.NoiseAttack{},
+			Dataset:   fedms.DatasetSpec{Kind: fedms.DatasetBlobs, Samples: 4000},
+			Model:     fedms.ModelSpec{Kind: fedms.ModelMLP, Hidden: []int{64}},
+			Seed:      seed,
+			EvalEvery: -1,
+		}
+		if quick {
+			cfg.Clients, cfg.Servers, cfg.Rounds = 6, 3, 2
+			cfg.Dataset.Samples = 600
+		}
+		res, err := fedms.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("round benchmark: %w", err)
+		}
+		var total time.Duration
+		for _, st := range res.Stats {
+			total += st.Elapsed
+		}
+		report.Round = RoundBench{
+			Clients: cfg.Clients, Servers: cfg.Servers,
+			Dim:    res.Engine.Dim(),
+			Rounds: len(res.Stats),
+			NsPerRound: float64(total.Nanoseconds()) /
+				float64(len(res.Stats)),
+		}
+		fmt.Fprintf(out, "  %-40s K=%d P=%d d=%d %12.0f ns/round\n",
+			"round/fedms", cfg.Clients, cfg.Servers, report.Round.Dim, report.Round.NsPerRound)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

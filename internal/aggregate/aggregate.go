@@ -11,6 +11,7 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"fedms/internal/tensor"
@@ -54,7 +55,7 @@ func (Mean) Aggregate(vecs [][]float64) []float64 {
 }
 
 // TrimmedMean is the Fed-MS model filter trmean_beta: per coordinate,
-// discard the floor(beta*P) largest and smallest values and average the
+// discard the ⌈beta·P⌉ largest and smallest values and average the
 // rest. With beta = B/P and B < P/2 the result provably stays within the
 // span of benign values (Lemma 2 of the paper).
 type TrimmedMean struct {
@@ -66,6 +67,10 @@ type TrimmedMean struct {
 	// count. The degraded client path uses it to keep trimming B values
 	// per side when only P' < P global models arrive in a round.
 	Trim int
+	// Workers bounds the goroutines of the coordinate-partitioned
+	// parallel aggregation path (0 or 1 = serial). The output is
+	// bit-identical for every value of Workers.
+	Workers int
 }
 
 // Name implements Rule.
@@ -77,14 +82,25 @@ func (t TrimmedMean) Name() string {
 }
 
 // TrimCount returns how many values are dropped from each side for n
-// inputs.
+// inputs: the paper's ⌈Beta·n⌉ (Lemma 2), or the explicit Trim
+// override. The ceiling is FP-safe — Beta = B/P lands exactly on B even
+// when B/P·n floats to B-1+0.999… — and the Beta-derived count is
+// clamped to the largest feasible trim ⌊(n-1)/2⌋ so a degraded round
+// with very few inputs still aggregates instead of panicking.
 func (t TrimmedMean) TrimCount(n int) int {
 	m := t.Trim
 	if m <= 0 {
 		if t.Beta < 0 {
 			panic("aggregate: negative trim rate")
 		}
-		m = int(t.Beta * float64(n))
+		if t.Beta >= 0.5 {
+			panic(fmt.Sprintf("aggregate: trim rate %g leaves no values", t.Beta))
+		}
+		m = int(math.Ceil(t.Beta*float64(n) - 1e-9))
+		if max := (n - 1) / 2; m > max {
+			m = max
+		}
+		return m
 	}
 	if 2*m >= n {
 		panic(fmt.Sprintf("aggregate: trim rate %g (trim %d) leaves no values for n=%d", t.Beta, t.Trim, n))
@@ -98,45 +114,49 @@ func (t TrimmedMean) Aggregate(vecs [][]float64) []float64 {
 	n := len(vecs)
 	m := t.TrimCount(n)
 	out := make([]float64, d)
-	col := make([]float64, n)
-	keep := float64(n - 2*m)
-	for j := 0; j < d; j++ {
-		for i, v := range vecs {
-			col[i] = v[j]
+	forEachCoordChunk(d, t.Workers, func(lo, hi int) {
+		col := make([]float64, n)
+		win := make([]float64, 2*m) // selection-window scratch, shared by the chunk's columns
+		for j := lo; j < hi; j++ {
+			for i, v := range vecs {
+				col[i] = v[j]
+			}
+			out[j] = trimmedMeanOf(col, m, win)
 		}
-		sort.Float64s(col)
-		s := 0.0
-		for i := m; i < n-m; i++ {
-			s += col[i]
-		}
-		out[j] = s / keep
-	}
+	})
 	return out
 }
 
 // CoordinateMedian takes the per-coordinate median (Yin et al., 2018).
-type CoordinateMedian struct{}
+type CoordinateMedian struct {
+	// Workers bounds the goroutines of the coordinate-partitioned
+	// parallel aggregation path (0 or 1 = serial). The output is
+	// bit-identical for every value of Workers.
+	Workers int
+}
 
 // Name implements Rule.
 func (CoordinateMedian) Name() string { return "median" }
 
 // Aggregate implements Rule.
-func (CoordinateMedian) Aggregate(vecs [][]float64) []float64 {
+func (c CoordinateMedian) Aggregate(vecs [][]float64) []float64 {
 	d := checkInputs(vecs, "median")
 	n := len(vecs)
 	out := make([]float64, d)
-	col := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i, v := range vecs {
-			col[i] = v[j]
+	forEachCoordChunk(d, c.Workers, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i, v := range vecs {
+				col[i] = v[j]
+			}
+			sortColumn(col)
+			if n%2 == 1 {
+				out[j] = col[n/2]
+			} else {
+				out[j] = 0.5 * (col[n/2-1] + col[n/2])
+			}
 		}
-		sort.Float64s(col)
-		if n%2 == 1 {
-			out[j] = col[n/2]
-		} else {
-			out[j] = 0.5 * (col[n/2-1] + col[n/2])
-		}
-	}
+	})
 	return out
 }
 
@@ -179,8 +199,7 @@ func (k Krum) Select(vecs [][]float64) int {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dist := tensor.VecDist2(vecs[i], vecs[j])
-			d2[i][j] = dist * dist
+			d2[i][j] = tensor.VecSqDist(vecs[i], vecs[j])
 			d2[j][i] = d2[i][j]
 		}
 	}
@@ -226,8 +245,13 @@ func lexLess(a, b []float64) bool {
 type GeoMedian struct {
 	// MaxIters bounds the Weiszfeld iterations (default 50).
 	MaxIters int
-	// Eps is the smoothing/convergence constant (default 1e-8).
+	// Eps is the Weiszfeld smoothing constant added to each distance
+	// (default 1e-8). It shapes the objective, not the stopping rule.
 	Eps float64
+	// Tol is the convergence threshold on the iterate's movement
+	// (default 1e-8). Eps and Tol are independent: loosening the
+	// smoothing no longer silently loosens convergence.
+	Tol float64
 }
 
 // Name implements Rule.
@@ -243,6 +267,10 @@ func (g GeoMedian) Aggregate(vecs [][]float64) []float64 {
 	eps := g.Eps
 	if eps <= 0 {
 		eps = 1e-8
+	}
+	tol := g.Tol
+	if tol <= 0 {
+		tol = 1e-8
 	}
 	// Start from the coordinate-wise mean.
 	z := make([]float64, d)
@@ -260,7 +288,7 @@ func (g GeoMedian) Aggregate(vecs [][]float64) []float64 {
 			tensor.VecAxpy(next, w, v)
 		}
 		tensor.VecScale(next, 1/wsum)
-		if tensor.VecDist2(z, next) < eps {
+		if tensor.VecDist2(z, next) < tol {
 			copy(z, next)
 			break
 		}

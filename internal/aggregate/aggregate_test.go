@@ -191,7 +191,7 @@ func TestTrimmedMeanPermutationInvariant(t *testing.T) {
 // dropped, not dampened.
 func TestTrimmedMeanIgnoresOutlierMagnitude(t *testing.T) {
 	base := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
-	tm := TrimmedMean{Beta: 0.25} // drops 2 per side
+	tm := TrimmedMean{Beta: 0.25} // ⌈0.25·10⌉ = 3 dropped per side
 	a := append([][]float64{{1e3}, {-1e3}}, base...)
 	b := append([][]float64{{1e12}, {-1e12}}, base...)
 	ra := tm.Aggregate(a)
@@ -278,6 +278,46 @@ func TestGeoMedianRobust(t *testing.T) {
 	distMean := dist(clean, mean)
 	if distRobust > distMean/100 {
 		t.Fatalf("geo median moved %v vs mean %v — not robust", distRobust, distMean)
+	}
+}
+
+// TestGeoMedianConvergesIndependentOfEps: regression for the coupling
+// of Weiszfeld's smoothing constant and its stopping rule. Eps only
+// smooths the 1/‖·‖ weights; convergence is governed by Tol. Under the
+// old shared field, a large Eps silently stopped the iteration after
+// one step, far from the geometric median.
+func TestGeoMedianConvergesIndependentOfEps(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}, {3}, {100}}
+	got := GeoMedian{Eps: 1.0}.Aggregate(vecs)
+	// One manual Weiszfeld step from the returned point must barely move
+	// it — i.e. the iteration genuinely converged rather than bailing out
+	// because the step size dipped below Eps.
+	step := func(z float64) float64 {
+		num, den := 0.0, 0.0
+		for _, v := range vecs {
+			w := 1 / (math.Abs(v[0]-z) + 1.0)
+			num += w * v[0]
+			den += w
+		}
+		return num / den
+	}
+	if moved := math.Abs(step(got[0]) - got[0]); moved > 1e-4 {
+		t.Fatalf("GeoMedian{Eps: 1} stopped %v away from its fixed point — Eps leaked into the stopping rule", moved)
+	}
+}
+
+// TestGeoMedianTolKnob: Tol is the convergence tolerance. A huge Tol
+// stops after the first step (far from the 1-D median ≈ 2); the default
+// converges close to it.
+func TestGeoMedianTolKnob(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}, {3}, {100}}
+	coarse := GeoMedian{Tol: 50}.Aggregate(vecs)
+	fine := GeoMedian{}.Aggregate(vecs)
+	if math.Abs(fine[0]-2) > 0.1 {
+		t.Fatalf("default Tol stopped at %v, want ~2", fine[0])
+	}
+	if math.Abs(coarse[0]-2) < math.Abs(fine[0]-2) {
+		t.Fatalf("Tol=50 (%v) should stop farther from the median than the default (%v)", coarse[0], fine[0])
 	}
 }
 

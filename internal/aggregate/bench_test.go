@@ -1,0 +1,104 @@
+package aggregate
+
+import (
+	"sort"
+	"testing"
+
+	"fedms/internal/randx"
+)
+
+// benchInputs builds the ISSUE benchmark setting: n=10 servers' models
+// at paper-scale dimension.
+func benchInputs(b *testing.B, n, d int) [][]float64 {
+	b.Helper()
+	r := randx.New(42)
+	return randomVecs(r, n, d)
+}
+
+// referenceTrimmedMean is the pre-optimization implementation — one
+// fresh column per coordinate, fully sorted with the library sort —
+// kept as the benchmark baseline the optimized paths are measured
+// against.
+func referenceTrimmedMean(vecs [][]float64, m int) []float64 {
+	n, d := len(vecs), len(vecs[0])
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i, v := range vecs {
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		s := 0.0
+		for i := m; i < n-m; i++ {
+			s += col[i]
+		}
+		out[j] = s / float64(n-2*m)
+	}
+	return out
+}
+
+func BenchmarkTrimmedMean(b *testing.B) {
+	for _, d := range []int{10_000, 100_000} {
+		vecs := benchInputs(b, 10, d)
+		b.Run(benchName("reference", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				referenceTrimmedMean(vecs, 2)
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			tm := TrimmedMean{Beta: 0.2, Workers: workers}
+			b.Run(benchName(map[int]string{1: "serial", 4: "workers4"}[workers], d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tm.Aggregate(vecs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCoordinateMedian(b *testing.B) {
+	for _, d := range []int{10_000, 100_000} {
+		vecs := benchInputs(b, 10, d)
+		for _, workers := range []int{1, 4} {
+			med := CoordinateMedian{Workers: workers}
+			b.Run(benchName(map[int]string{1: "serial", 4: "workers4"}[workers], d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					med.Aggregate(vecs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrimmedMeanSelection exercises the partial-selection path
+// (n large, m small) against its sort-everything alternative.
+func BenchmarkTrimmedMeanSelection(b *testing.B) {
+	const n, d = 64, 10_000
+	vecs := benchInputs(b, n, d)
+	b.Run("selection", func(b *testing.B) {
+		tm := TrimmedMean{Trim: 2}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm.Aggregate(vecs)
+		}
+	})
+	b.Run("reference_sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceTrimmedMean(vecs, 2)
+		}
+	})
+}
+
+func benchName(variant string, d int) string {
+	switch d {
+	case 10_000:
+		return variant + "/d=1e4"
+	case 100_000:
+		return variant + "/d=1e5"
+	}
+	return variant
+}

@@ -62,8 +62,7 @@ func krumRank(vecs [][]float64, f int) []int {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dist := tensor.VecDist2(vecs[i], vecs[j])
-			d2[i][j] = dist * dist
+			d2[i][j] = tensor.VecSqDist(vecs[i], vecs[j])
 			d2[j][i] = d2[i][j]
 		}
 	}

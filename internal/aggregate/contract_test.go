@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -150,7 +151,7 @@ func TestAllRulesScaleEquivariant(t *testing.T) {
 // TestTrimmedMeanPartialParticipation: the degraded-round guarantee.
 // When only P' of P global models arrive (lost to crashes, drops or
 // partitions) the tolerant client keeps the absolute per-side trim
-// count m = ⌊β·P⌋ = B via TrimmedMean{Trim: B}. For ANY subset with
+// count m = ⌈β·P⌉ = B via TrimmedMean{Trim: B}. For ANY subset with
 // P' ≥ 2B+1 members of which at most B are Byzantine, the filtered
 // result must stay within the coordinate-wise [min, max] of the benign
 // members — Lemma 2 of the paper, extended to partial participation.
@@ -212,7 +213,7 @@ func TestTrimmedMeanPartialParticipation(t *testing.T) {
 func TestTrimmedMeanTrimOverrideMatchesBeta(t *testing.T) {
 	r := randx.New(11)
 	vecs := randomVecs(r, 10, 6)
-	byBeta := TrimmedMean{Beta: 0.2}.Aggregate(vecs)   // ⌊0.2·10⌋ = 2
+	byBeta := TrimmedMean{Beta: 0.2}.Aggregate(vecs) // ⌈0.2·10⌉ = 2
 	byTrim := TrimmedMean{Trim: 2}.Aggregate(vecs)
 	for i := range byBeta {
 		if byBeta[i] != byTrim[i] {
@@ -228,6 +229,170 @@ func TestTrimmedMeanTrimOverrideMatchesBeta(t *testing.T) {
 		}
 	}()
 	(TrimmedMean{Trim: 2}).TrimCount(4)
+}
+
+// coordParallelRules enumerates every (rule, worker-count) pair of the
+// coordinate-parallel aggregation path, for serial-vs-parallel checks.
+func coordParallelRules(workers int) []Rule {
+	return []Rule{
+		TrimmedMean{Beta: 0.2, Workers: workers},
+		TrimmedMean{Beta: 1.0 / 3.0, Workers: workers},
+		TrimmedMean{Trim: 2, Workers: workers},
+		CoordinateMedian{Workers: workers},
+	}
+}
+
+// TestSerialParallelBitIdentical: the worker-parallel coordinate path
+// must produce bit-for-bit the output of the serial path for any worker
+// count — the engine's determinism guarantee (Config.Workers must not
+// change results). d spans both sides of the parallel-dispatch gate and
+// n covers odd and even column lengths.
+func TestSerialParallelBitIdentical(t *testing.T) {
+	r := randx.New(21)
+	for _, n := range []int{7, 10} {
+		for _, d := range []int{64, 2048, 5000} {
+			vecs := randomVecs(r, n, d)
+			for ri, serial := range coordParallelRules(1) {
+				want := serial.Aggregate(vecs)
+				for _, workers := range []int{2, 8, -1} {
+					got := coordParallelRules(workers)[ri].Aggregate(vecs)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("%s n=%d d=%d workers=%d coord %d: %v != serial %v",
+								serial.Name(), n, d, workers, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPathFreshOutput: the parallel path must neither retain
+// references to its inputs nor mutate them — the engine hands the same
+// received slices to every client's filter concurrently.
+func TestParallelPathFreshOutput(t *testing.T) {
+	r := randx.New(22)
+	const n, d = 9, 4096
+	for _, rule := range coordParallelRules(8) {
+		vecs := randomVecs(r, n, d)
+		snapshot := make([][]float64, n)
+		for i, v := range vecs {
+			snapshot[i] = append([]float64(nil), v...)
+		}
+		out := rule.Aggregate(vecs)
+		for j := range out {
+			out[j] = 1e30 // would corrupt vecs if out aliased an input
+		}
+		for i := range vecs {
+			for j := range vecs[i] {
+				if vecs[i][j] != snapshot[i][j] {
+					t.Fatalf("%s (parallel) retained or mutated input %d", rule.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+// TestTrimCountGrid: over the full feasible (B, P) grid with P ≤ 12,
+// the Fed-MS rate β = B/P must trim exactly B per side despite float64
+// rounding of B/P — the property Lemma 2 needs (m ≥ B). The floor-based
+// count regressed this for non-terminating ratios like 2/6 and 3/9,
+// whose β·P products round just below B.
+func TestTrimCountGrid(t *testing.T) {
+	for p := 1; p <= 12; p++ {
+		for b := 0; 2*b < p; b++ {
+			beta := float64(b) / float64(p)
+			if got := (TrimmedMean{Beta: beta}).TrimCount(p); got != b {
+				t.Errorf("TrimCount(beta=%d/%d, n=%d) = %d, want %d", b, p, p, got, b)
+			}
+		}
+	}
+	// Non-integral products take the ceiling (trim enough, never too
+	// little), clamped so at least one value survives.
+	ceilCases := []struct {
+		beta float64
+		n    int
+		want int
+	}{
+		{0.3, 7, 3},   // ⌈2.1⌉ = 3, the motivating regression
+		{0.25, 10, 3}, // ⌈2.5⌉ = 3
+		{0.15, 10, 2}, // ⌈1.5⌉ = 2
+		{0.4, 7, 3},   // ⌈2.8⌉ = 3 = ⌊(n-1)/2⌋, boundary of the clamp
+		{0.2, 2, 0},   // ⌈0.4⌉ = 1 clamped to ⌊1/2⌋ = 0: degraded quorum survives
+		{0.3, 3, 1},   // ⌈0.9⌉ = 1
+	}
+	for _, tt := range ceilCases {
+		if got := (TrimmedMean{Beta: tt.beta}).TrimCount(tt.n); got != tt.want {
+			t.Errorf("TrimCount(beta=%v, n=%d) = %d, want %d", tt.beta, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestTrimmedMeanSelectionMatchesSort: the partial-selection fast path
+// (engaged for large n with small trim counts) must agree with a plain
+// sort-and-average reference. Not bitwise — the two paths sum the kept
+// values in different orders — but to tight relative tolerance, and on
+// heavy-duplicate inputs where boundary-value counting is easiest to
+// get wrong.
+func TestTrimmedMeanSelectionMatchesSort(t *testing.T) {
+	ref := func(col []float64, m int) float64 {
+		s := append([]float64(nil), col...)
+		sort.Float64s(s)
+		sum := 0.0
+		for _, v := range s[m : len(s)-m] {
+			sum += v
+		}
+		return sum / float64(len(s)-2*m)
+	}
+	r := randx.New(23)
+	for _, n := range []int{32, 33, 64, 100} {
+		for m := 1; 8*m <= n; m++ {
+			if !useSelection(n, m) {
+				t.Fatalf("gate rejected n=%d m=%d", n, m)
+			}
+			for trial := 0; trial < 20; trial++ {
+				col := make([]float64, n)
+				switch trial % 3 {
+				case 0:
+					randx.Normal(r, col, 0, 1)
+				case 1: // many duplicates, including at the trim boundary
+					for i := range col {
+						col[i] = float64(r.IntN(4))
+					}
+				case 2: // Byzantine-scale outliers on both sides
+					randx.Normal(r, col, 0, 1)
+					for i := 0; i < m; i++ {
+						col[r.IntN(n)] = 1e12 * float64(1-2*(i%2))
+					}
+				}
+				want := ref(col, m)
+				got := trimmedMeanOf(append([]float64(nil), col...), m, make([]float64, 2*m))
+				tol := 1e-12 * math.Max(1, math.Abs(want))
+				if math.Abs(got-want) > tol {
+					t.Fatalf("n=%d m=%d trial %d: selection %v != sort %v", n, m, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWithWorkers: the engine's knob-threading helper must set Workers
+// on the coordinate-parallel rules and leave every other rule (and
+// already-configured rules) untouched.
+func TestWithWorkers(t *testing.T) {
+	if got := WithWorkers(TrimmedMean{Beta: 0.2}, 4).(TrimmedMean).Workers; got != 4 {
+		t.Fatalf("WithWorkers(TrimmedMean).Workers = %d", got)
+	}
+	if got := WithWorkers(CoordinateMedian{}, 4).(CoordinateMedian).Workers; got != 4 {
+		t.Fatalf("WithWorkers(CoordinateMedian).Workers = %d", got)
+	}
+	if got := WithWorkers(TrimmedMean{Beta: 0.2, Workers: 2}, 4).(TrimmedMean).Workers; got != 2 {
+		t.Fatalf("WithWorkers must not override an explicit worker count, got %d", got)
+	}
+	if _, ok := WithWorkers(GeoMedian{}, 4).(GeoMedian); !ok {
+		t.Fatal("WithWorkers must pass unrelated rules through unchanged")
+	}
 }
 
 // TestRobustRulesBounded: every rule except Mean keeps one unbounded

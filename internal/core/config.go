@@ -72,7 +72,10 @@ type Config struct {
 	// setting of Li et al. that the paper's analysis builds on).
 	// Zero means full participation.
 	Participation float64
-	// Attack is the Byzantine servers' behaviour.
+	// Attack is the Byzantine servers' behaviour. Equivocating attacks
+	// are invoked concurrently from the parallel filter stage (one
+	// deterministic RNG stream per destination client), so custom
+	// implementations must not mutate shared state in Tamper.
 	Attack attack.Attack
 	// Filter is the client-side defence Def(·): TrimmedMean{B/P} for
 	// Fed-MS, Mean{} for vanilla FL.
@@ -106,7 +109,10 @@ type Config struct {
 	// default 5 approximates that cheaply — models are near-identical
 	// after filtering). Clamped to K.
 	EvalClients int
-	// Workers bounds parallel client training (default GOMAXPROCS).
+	// Workers bounds the engine's parallelism (default GOMAXPROCS): the
+	// client training pool, the per-client filter stage, and the
+	// coordinate-parallel aggregation path of the filter rules all share
+	// this knob. Results are bit-identical for any value.
 	Workers int
 	// Logger, when non-nil, receives one structured record per round
 	// (round index, losses, accuracy, communication, spread) — wire it

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fedms/internal/aggregate"
 	"fedms/internal/attack"
 	"fedms/internal/randx"
 	"fedms/internal/tensor"
@@ -76,6 +77,15 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 	for _, l := range learners[1:] {
 		l.SetParams(w0)
 	}
+	// Thread the worker bound into the coordinate-parallel aggregation
+	// rules. Rule outputs are bit-identical across worker counts, so
+	// this never perturbs results — only wall-clock.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Filter = aggregate.WithWorkers(cfg.Filter, workers)
+	cfg.ServerFilter = aggregate.WithWorkers(cfg.ServerFilter, workers)
 	lastAgg := make([][]float64, cfg.Servers)
 	for i := range lastAgg {
 		lastAgg[i] = append([]float64(nil), w0...)
@@ -182,11 +192,19 @@ func (e *Engine) RunRound() RoundStats {
 	disseminated := e.disseminate(t, aggs)
 	benignMean := e.benignMean(aggs)
 
-	for k := 0; k < e.cfg.Clients; k++ {
+	// Each client's receive→filter→install step is independent, so the
+	// stage runs on the same bounded pool as local training. Per-client
+	// spreads are reduced afterwards: max is order-insensitive, keeping
+	// the round deterministic for any worker count.
+	spreads := make([]float64, e.cfg.Clients)
+	e.forEachClient(e.cfg.Clients, func(k int) {
 		received := disseminated(k)
 		filtered := e.cfg.Filter.Aggregate(received)
 		e.learners[k].SetParams(filtered)
-		if d := tensor.VecDist2(filtered, benignMean); d > st.ModelSpread {
+		spreads[k] = tensor.VecDist2(filtered, benignMean)
+	})
+	for _, d := range spreads {
+		if d > st.ModelSpread {
 			st.ModelSpread = d
 		}
 	}
@@ -238,24 +256,23 @@ func (e *Engine) activeClients(t int) []int {
 	return active
 }
 
-// trainClients runs local training for the active clients, bounded by
-// cfg.Workers, and returns their average losses (index-aligned with
-// active).
-func (e *Engine) trainClients(t int, active []int) []float64 {
+// forEachClient runs fn(i) for every i in [0, n) on the bounded worker
+// pool (cfg.Workers, default GOMAXPROCS) shared by the training and
+// filter stages. fn must be safe for concurrent invocation on distinct
+// indices; results must not depend on scheduling order.
+func (e *Engine) forEachClient(n int, fn func(i int)) {
 	workers := e.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(active) {
-		workers = len(active)
+	if workers > n {
+		workers = n
 	}
-	losses := make([]float64, len(active))
-	globalStep := t * e.cfg.LocalSteps
-	if workers == 1 {
-		for i, k := range active {
-			losses[i] = e.learners[k].LocalTrain(e.cfg.LocalSteps, globalStep, e.cfg.Schedule)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return losses
+		return
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -264,15 +281,26 @@ func (e *Engine) trainClients(t int, active []int) []float64 {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				losses[i] = e.learners[active[i]].LocalTrain(e.cfg.LocalSteps, globalStep, e.cfg.Schedule)
+				fn(i)
 			}
 		}()
 	}
-	for i := range active {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// trainClients runs local training for the active clients, bounded by
+// cfg.Workers, and returns their average losses (index-aligned with
+// active).
+func (e *Engine) trainClients(t int, active []int) []float64 {
+	losses := make([]float64, len(active))
+	globalStep := t * e.cfg.LocalSteps
+	e.forEachClient(len(active), func(i int) {
+		losses[i] = e.learners[active[i]].LocalTrain(e.cfg.LocalSteps, globalStep, e.cfg.Schedule)
+	})
 	return losses
 }
 

@@ -567,6 +567,25 @@ func TestWorkerPoolDeterminism(t *testing.T) {
 	}
 }
 
+func TestEngineThreadsWorkersIntoFilter(t *testing.T) {
+	// NewEngine must hand the engine's worker bound to the filter rules
+	// so the coordinate-parallel aggregation path shares the one knob.
+	learners, _ := testFixture(t, 4, 35)
+	cfg := baseConfig(4, 3, 0, attack.None{}, aggregate.TrimmedMean{Beta: 0.2})
+	cfg.Workers = 3
+	eng, err := NewEngine(cfg, learners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, ok := eng.Config().Filter.(aggregate.TrimmedMean)
+	if !ok || tm.Workers != 3 {
+		t.Fatalf("Filter = %#v, want TrimmedMean with Workers=3", eng.Config().Filter)
+	}
+	if _, ok := eng.Config().ServerFilter.(aggregate.Mean); !ok {
+		t.Fatalf("default ServerFilter should stay Mean, got %#v", eng.Config().ServerFilter)
+	}
+}
+
 func TestRunRoundCountsAdvance(t *testing.T) {
 	learners, _ := testFixture(t, 4, 35)
 	cfg := baseConfig(4, 3, 0, attack.None{}, aggregate.Mean{})

@@ -10,7 +10,10 @@ import (
 	"strings"
 )
 
-// Series is one named curve: a value per round.
+// Series is one named curve: a value per round. Rounds must be
+// appended in increasing order (Append is called once per recorded
+// round as training advances); At and the table renderers rely on that
+// ordering for binary search.
 type Series struct {
 	Name   string
 	Rounds []int
@@ -49,19 +52,18 @@ func (s *Series) Max() float64 {
 }
 
 // At returns the value recorded for the given round, or the nearest
-// earlier round's value; ok is false if no point at or before round
-// exists.
+// earlier round's value (carry-forward); ok is false if no point at or
+// before round exists. Binary search over the sorted Rounds slice —
+// table rendering calls At once per round per series, and a linear scan
+// made report generation O(rounds²).
 func (s *Series) At(round int) (float64, bool) {
-	best := -1
-	for i, r := range s.Rounds {
-		if r <= round {
-			best = i
-		}
-	}
-	if best < 0 {
+	// First index with Rounds[i] > round; the point before it (if any)
+	// is the latest recording at or before round.
+	i := sort.SearchInts(s.Rounds, round+1)
+	if i == 0 {
 		return 0, false
 	}
-	return s.Values[best], true
+	return s.Values[i-1], true
 }
 
 // Table is a collection of series sharing a round axis, rendered as
@@ -156,12 +158,8 @@ func (t *Table) WriteText(w io.Writer) error {
 }
 
 func containsRound(rounds []int, r int) bool {
-	for _, x := range rounds {
-		if x == r {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchInts(rounds, r)
+	return i < len(rounds) && rounds[i] == r
 }
 
 // WriteCSV renders the table as CSV with a round column.

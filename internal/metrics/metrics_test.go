@@ -39,6 +39,39 @@ func TestSeriesAt(t *testing.T) {
 	}
 }
 
+func TestSeriesAtEmpty(t *testing.T) {
+	if _, ok := (&Series{}).At(0); ok {
+		t.Fatal("At on an empty series must report !ok")
+	}
+}
+
+// TestSeriesAtMatchesLinearScan: the binary-search At must agree with
+// the obvious linear carry-forward scan at every query point, including
+// gaps, exact hits and both ends of the recorded range.
+func TestSeriesAtMatchesLinearScan(t *testing.T) {
+	var s Series
+	for r := 0; r < 40; r += 3 { // sparse eval rounds, like EvalEvery=3
+		s.Append(r, float64(r)*0.5)
+	}
+	linear := func(round int) (float64, bool) {
+		v, ok := 0.0, false
+		for i, r := range s.Rounds {
+			if r > round {
+				break
+			}
+			v, ok = s.Values[i], true
+		}
+		return v, ok
+	}
+	for round := -2; round < 45; round++ {
+		gotV, gotOK := s.At(round)
+		wantV, wantOK := linear(round)
+		if gotV != wantV || gotOK != wantOK {
+			t.Fatalf("At(%d) = %v,%v, linear scan says %v,%v", round, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
 func TestSeriesPanicsEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

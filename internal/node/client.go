@@ -189,7 +189,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 
 // degradedTrim rebuilds the filter for a round where only got < total
 // models arrived. A TrimmedMean keeps its absolute per-side trim count
-// from the full federation (⌊β·P⌋ = B), so the degraded round still
+// from the full federation (⌈β·P⌉ = B), so the degraded round still
 // discards up to B Byzantine survivors — the paper's filter semantics
 // under partial participation. Other rules apply unchanged.
 func degradedTrim(f aggregate.Rule, total, got int) (aggregate.Rule, error) {
@@ -204,7 +204,7 @@ func degradedTrim(f aggregate.Rule, total, got int) (aggregate.Rule, error) {
 	if 2*m >= got {
 		return nil, fmt.Errorf("%d models cannot absorb a trim of %d per side", got, m)
 	}
-	return aggregate.TrimmedMean{Trim: m}, nil
+	return aggregate.TrimmedMean{Trim: m, Workers: tm.Workers}, nil
 }
 
 // RunClient executes the client side of the protocol to completion and

@@ -351,8 +351,31 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	var missed, lost int
 	vecs := make(map[int][]float64)
 	var firstErr error
+	waiting := make([]bool, len(conns))
+	for id, conn := range conns {
+		waiting[id] = conn != nil
+	}
 	for i := 0; i < live; i++ {
 		u := <-results
+		waiting[u.client] = false
+		if i == 0 && p.cfg.Tolerant && p.cfg.Timeout > 0 {
+			// Straggler window. The first result proves this round's
+			// uploads are flowing, so holdouts — in practice frames the
+			// fault layer dropped — get only Timeout/2 more before they
+			// count as missed. Without this, a dropped frame stalls the
+			// round by the full Timeout, which is exactly the receive
+			// window the OTHER servers armed for the next round: honest
+			// uploads then land on the deadline to the scheduler's
+			// whim, and seeded reruns diverge. Capping the stall at
+			// half the window restores a Timeout/2 margin, keeping the
+			// injected fault schedule the only source of misses.
+			dl := time.Now().Add(p.cfg.Timeout / 2)
+			for id, w := range waiting {
+				if w {
+					_ = conns[id].SetRecvDeadline(dl)
+				}
+			}
+		}
 		switch {
 		case u.dead && !p.cfg.Tolerant:
 			if firstErr == nil {

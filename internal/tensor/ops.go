@@ -187,6 +187,21 @@ func VecNorm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// VecSqDist returns the squared L2 distance between a and b — the
+// quantity Krum-style scores accumulate, without VecDist2's sqrt that
+// callers would immediately square away.
+func VecSqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: VecSqDist length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // VecDist2 returns the L2 distance between a and b.
 func VecDist2(a, b []float64) float64 {
 	if len(a) != len(b) {

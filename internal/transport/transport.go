@@ -109,9 +109,19 @@ const headerLen = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4
 // Encode serializes the message into a fresh byte slice (frame bytes
 // including checksum).
 func Encode(m *Message) []byte {
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode serializes the message, appends the frame bytes
+// (including checksum) to dst, and returns the extended slice. It lets
+// hot paths reuse one buffer across frames instead of allocating
+// headerLen+8d bytes per send.
+func AppendEncode(dst []byte, m *Message) []byte {
 	textLen := len(m.Text)
 	vecLen := len(m.Vec)
-	buf := make([]byte, headerLen+textLen+8*vecLen+4)
+	start := len(dst)
+	dst = growBytes(dst, headerLen+textLen+8*vecLen+4)
+	buf := dst[start:]
 	binary.LittleEndian.PutUint16(buf[0:], Magic)
 	buf[2] = Version
 	buf[3] = uint8(m.Type)
@@ -128,8 +138,25 @@ func Encode(m *Message) []byte {
 	}
 	crc := crc32.ChecksumIEEE(buf[2:off])
 	binary.LittleEndian.PutUint32(buf[off:], crc)
-	return buf
+	return dst
 }
+
+// growBytes extends b by n bytes, reallocating only when the capacity
+// is insufficient. The extension is NOT zeroed — AppendEncode writes
+// every appended byte.
+func growBytes(b []byte, n int) []byte {
+	l := len(b)
+	if l+n <= cap(b) {
+		return b[:l+n]
+	}
+	nb := make([]byte, l+n)
+	copy(nb, b)
+	return nb
+}
+
+// encodeBufs recycles frame buffers across Send calls; model frames are
+// headerLen+8d bytes, far too large to re-allocate per round per link.
+var encodeBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 // Decode reads one frame from r.
 func Decode(r io.Reader) (*Message, error) {
@@ -218,11 +245,15 @@ func (c *Conn) Send(m *Message) error {
 			return err
 		}
 	}
-	frame := Encode(m)
+	bufp := encodeBufs.Get().(*[]byte)
+	frame := AppendEncode((*bufp)[:0], m)
 	if c.key != nil {
 		frame = append(frame, seal(c.key, frame)...)
 	}
-	return c.sendBytes(frame)
+	err := c.sendBytes(frame)
+	*bufp = frame
+	encodeBufs.Put(bufp)
+	return err
 }
 
 // Recv reads one frame (verifying its HMAC tag when a key is
@@ -240,6 +271,13 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	return Decode(c.br)
 }
+
+// SetRecvDeadline overrides the read deadline of an in-flight (or the
+// next) Recv. net.Conn guarantees a deadline update interrupts a
+// blocked Read, so a peer waiting on a frame that will never arrive can
+// be cut short without closing the connection. The override lasts until
+// the next Recv call re-arms the per-frame Timeout.
+func (c *Conn) SetRecvDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }

@@ -35,6 +35,87 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendEncodePreservesPrefix: AppendEncode must append after any
+// existing bytes (leaving them intact) and produce exactly the frame
+// Encode would.
+func TestAppendEncodePreservesPrefix(t *testing.T) {
+	m := &Message{Type: TypeGlobalModel, Round: 3, Sender: 1, Text: "x", Vec: []float64{1, 2, 3}}
+	prefix := []byte("prefix")
+	buf := AppendEncode(append([]byte(nil), prefix...), m)
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatalf("AppendEncode clobbered the prefix: %q", buf[:len(prefix)])
+	}
+	if !bytes.Equal(buf[len(prefix):], Encode(m)) {
+		t.Fatal("appended frame differs from Encode output")
+	}
+	got, err := Decode(bytes.NewReader(buf[len(prefix):]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != m.Text || len(got.Vec) != len(m.Vec) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestAppendEncodeReusesCapacity: encoding into a buffer that already
+// has room must not reallocate — the property the Send buffer pool
+// relies on to make steady-state sends allocation-free.
+func TestAppendEncodeReusesCapacity(t *testing.T) {
+	m := &Message{Type: TypeUpload, Round: 1, Vec: make([]float64, 512)}
+	buf := AppendEncode(nil, m)
+	reused := AppendEncode(buf[:0], m)
+	if &reused[0] != &buf[0] {
+		t.Fatal("AppendEncode reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(reused, buf) {
+		t.Fatal("reused buffer encoded a different frame")
+	}
+}
+
+// TestConnSendSteadyStateAllocs: after warm-up, Send must reuse pooled
+// encode buffers — the per-round model exchange must not allocate a
+// fresh headerLen+8d frame per link.
+func TestConnSendSteadyStateAllocs(t *testing.T) {
+	c := NewConn(discardNetConn{})
+	m := &Message{Type: TypeGlobalModel, Round: 2, Vec: make([]float64, 4096)}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Allow a fraction for pool refills under GC, but steady state must
+	// be far below one frame allocation per send.
+	if avg > 1 {
+		t.Fatalf("Send allocates %v objects per frame in steady state", avg)
+	}
+}
+
+// discardNetConn is a net.Conn that swallows writes.
+type discardNetConn struct{ net.Conn }
+
+func (discardNetConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardNetConn) SetWriteDeadline(time.Time) error { return nil }
+func (discardNetConn) Close() error                     { return nil }
+
+func BenchmarkEncode(b *testing.B) {
+	m := &Message{Type: TypeGlobalModel, Round: 2, Vec: make([]float64, 100_000)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkConnSend(b *testing.B) {
+	c := NewConn(discardNetConn{})
+	m := &Message{Type: TypeGlobalModel, Round: 2, Vec: make([]float64, 100_000)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestEncodeDecodeQuick(t *testing.T) {
 	err := quick.Check(func(round, sender, flag uint32, text string, vec []float64) bool {
 		if len(text) > 1000 || len(vec) > 1000 {
