@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos fuzz bench
+.PHONY: build test verify race chaos fuzz bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,12 @@ test:
 	$(GO) test ./...
 
 # Tier-1 plus the race-clean tier: everything must pass with -race.
+# The GEMM determinism contract runs first on its own — the worker-
+# parallel kernels underpin every training result, so their races should
+# fail fast and by name before the full suite runs.
 verify:
 	$(GO) vet ./...
+	$(GO) test -race -run 'Gemm' ./internal/tensor/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.
@@ -35,3 +39,11 @@ fuzz:
 # EXPERIMENTS.md "Performance"). Run on an otherwise idle machine.
 bench:
 	$(GO) run ./cmd/fedms-bench -exp perf -benchout BENCH_fedms.json
+
+# Perf regression gate: re-run the perf pass and compare the aggregate
+# and train_step sections against the committed trajectory, failing on
+# any >15% ns/op regression. The fresh report lands in BENCH_check.json
+# (untracked) so the committed baseline is never clobbered. Meaningful
+# only on an otherwise idle machine; CI runs it as a non-blocking step.
+bench-diff:
+	$(GO) run ./cmd/fedms-bench -exp perf -benchout BENCH_check.json -diffbase BENCH_fedms.json

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Perf regression gate (`make bench-diff`): the perf pass is re-run and
+// its aggregate and train_step entries — the two sections covering the
+// filter and local-SGD hot paths — are compared against a committed
+// baseline report. A fresh entry whose ns/op exceeds the baseline by
+// more than the tolerance fails the gate. The other sections (gemm,
+// transport, round) are reported but advisory: they either feed the
+// train_step numbers already or depend on network-stack jitter.
+
+// loadBenchReport reads a BENCH_fedms.json written by runPerf.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// benchKey identifies one measured operation across runs.
+type benchKey struct {
+	Name    string
+	Dim     int
+	Inputs  int
+	Workers int
+	Shape   string
+}
+
+func keyOf(e BenchEntry) benchKey {
+	return benchKey{e.Name, e.Dim, e.Inputs, e.Workers, e.Shape}
+}
+
+// diffBenchReports compares the gated sections of fresh against base and
+// returns an error naming every entry that regressed beyond tol
+// (fractional, e.g. 0.15 for +15% ns/op). Entries present in only one
+// report are reported but never fail the gate, so the baseline can be
+// regenerated after schema growth.
+func diffBenchReports(out io.Writer, base, fresh *BenchReport, tol float64) error {
+	if base.Quick != fresh.Quick {
+		return fmt.Errorf("baseline quick=%v but fresh run quick=%v: runs are not comparable", base.Quick, fresh.Quick)
+	}
+	sections := []struct {
+		name        string
+		base, fresh []BenchEntry
+	}{
+		{"aggregate", base.Aggregate, fresh.Aggregate},
+		{"train_step", base.TrainStep, fresh.TrainStep},
+	}
+	var regressions []string
+	for _, sec := range sections {
+		baseline := make(map[benchKey]BenchEntry, len(sec.base))
+		for _, e := range sec.base {
+			baseline[keyOf(e)] = e
+		}
+		for _, e := range sec.fresh {
+			b, ok := baseline[keyOf(e)]
+			if !ok {
+				fmt.Fprintf(out, "  %-40s new entry (no baseline), skipped\n", e.Name)
+				continue
+			}
+			delete(baseline, keyOf(e))
+			delta := e.NsPerOp/b.NsPerOp - 1
+			verdict := "ok"
+			if delta > tol {
+				verdict = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s (d=%d n=%d workers=%d): %.0f -> %.0f ns/op (%+.1f%%)",
+					e.Name, e.Dim, e.Inputs, e.Workers, b.NsPerOp, e.NsPerOp, 100*delta))
+			}
+			fmt.Fprintf(out, "  %-40s d=%-7d n=%-3d workers=%-2d %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+				e.Name, e.Dim, e.Inputs, e.Workers, b.NsPerOp, e.NsPerOp, 100*delta, verdict)
+		}
+		for k := range baseline {
+			fmt.Fprintf(out, "  %-40s dropped from fresh run (baseline only)\n", k.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d ns/op regression(s) beyond %.0f%%:\n  %s",
+			len(regressions), 100*tol, joinLines(regressions))
+	}
+	fmt.Fprintf(out, "bench-diff: no ns/op regression beyond %.0f%%\n", 100*tol)
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

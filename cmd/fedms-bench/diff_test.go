@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func benchReportOf(entries ...BenchEntry) *BenchReport {
+	r := &BenchReport{Schema: BenchSchema}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name, "train_step/") {
+			r.TrainStep = append(r.TrainStep, e)
+		} else {
+			r.Aggregate = append(r.Aggregate, e)
+		}
+	}
+	return r
+}
+
+func TestBenchDiffPassesWithinTolerance(t *testing.T) {
+	base := benchReportOf(
+		BenchEntry{Name: "aggregate/trimmed_mean", Dim: 10000, Inputs: 10, Workers: 1, NsPerOp: 1000},
+		BenchEntry{Name: "train_step/mlp", Dim: 784, Inputs: 32, NsPerOp: 5000},
+	)
+	fresh := benchReportOf(
+		BenchEntry{Name: "aggregate/trimmed_mean", Dim: 10000, Inputs: 10, Workers: 1, NsPerOp: 1100},
+		BenchEntry{Name: "train_step/mlp", Dim: 784, Inputs: 32, NsPerOp: 5700},
+	)
+	if err := diffBenchReports(io.Discard, base, fresh, 0.15); err != nil {
+		t.Fatalf("+10%%/+14%% within 15%% tolerance must pass, got %v", err)
+	}
+}
+
+func TestBenchDiffFailsOnRegression(t *testing.T) {
+	base := benchReportOf(
+		BenchEntry{Name: "train_step/conv_block", Dim: 4096, Inputs: 8, NsPerOp: 20000},
+	)
+	fresh := benchReportOf(
+		BenchEntry{Name: "train_step/conv_block", Dim: 4096, Inputs: 8, NsPerOp: 24000},
+	)
+	err := diffBenchReports(io.Discard, base, fresh, 0.15)
+	if err == nil {
+		t.Fatal("+20% ns/op must fail the 15% gate")
+	}
+	if !strings.Contains(err.Error(), "train_step/conv_block") {
+		t.Fatalf("error must name the regressed entry, got %v", err)
+	}
+}
+
+func TestBenchDiffIgnoresNewAndDroppedEntries(t *testing.T) {
+	base := benchReportOf(
+		BenchEntry{Name: "aggregate/old_rule", Dim: 10000, NsPerOp: 1000},
+	)
+	fresh := benchReportOf(
+		BenchEntry{Name: "aggregate/new_rule", Dim: 10000, NsPerOp: 99999},
+	)
+	if err := diffBenchReports(io.Discard, base, fresh, 0.15); err != nil {
+		t.Fatalf("schema growth must not fail the gate, got %v", err)
+	}
+}
+
+func TestBenchDiffRejectsQuickMismatch(t *testing.T) {
+	base := benchReportOf()
+	fresh := benchReportOf()
+	fresh.Quick = true
+	if err := diffBenchReports(io.Discard, base, fresh, 0.15); err == nil {
+		t.Fatal("quick-mode mismatch must be rejected: the runs measure different shapes")
+	}
+}

@@ -52,6 +52,8 @@ func run(args []string) error {
 		evalStr  = fs.Int("eval", 0, "evaluate every N rounds (0 = 5)")
 		seeds    = fs.Int("seeds", 3, "seed repetitions for the stats experiment")
 		benchout = fs.String("benchout", "BENCH_fedms.json", "output path for the perf experiment's JSON report")
+		diffbase = fs.String("diffbase", "", "baseline BENCH_fedms.json to diff the perf run against; exits non-zero on regression")
+		difftol  = fs.Float64("difftol", 0.15, "fractional ns/op regression tolerance for -diffbase")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,8 +250,23 @@ func run(args []string) error {
 	if *exp == "perf" {
 		// Deliberately excluded from "all": wall-clock measurements want
 		// an idle machine, and the JSON report is a build artifact.
-		if err := runPerf(out, *benchout, *seed, *quick); err != nil {
+		var baseline *BenchReport
+		if *diffbase != "" {
+			// Load before runPerf in case -benchout points at the baseline.
+			var err error
+			if baseline, err = loadBenchReport(*diffbase); err != nil {
+				return err
+			}
+		}
+		report, err := runPerf(out, *benchout, *seed, *quick)
+		if err != nil {
 			return err
+		}
+		if baseline != nil {
+			fmt.Fprintf(out, "Perf diff vs %s:\n", *diffbase)
+			if err := diffBenchReports(out, baseline, report, *difftol); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -18,12 +18,15 @@ import (
 
 	"fedms"
 	"fedms/internal/aggregate"
+	"fedms/internal/nn"
 	"fedms/internal/randx"
+	"fedms/internal/tensor"
 	"fedms/internal/transport"
 )
 
-// BenchSchema versions the BENCH_fedms.json layout.
-const BenchSchema = "fedms-bench/perf/v1"
+// BenchSchema versions the BENCH_fedms.json layout. v2 added the gemm
+// and train_step sections (local-SGD hot path).
+const BenchSchema = "fedms-bench/perf/v2"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -31,10 +34,13 @@ type BenchEntry struct {
 	Name string `json:"name"`
 	// Dim is the model dimension d (0 when not applicable).
 	Dim int `json:"d,omitempty"`
-	// Inputs is the number of aggregated vectors n (0 when n/a).
+	// Inputs is the number of aggregated vectors n — or, for the
+	// train_step entries, the batch size (0 when n/a).
 	Inputs int `json:"n,omitempty"`
 	// Workers is the parallelism knob (0 = serial path).
 	Workers int `json:"workers,omitempty"`
+	// Shape describes GEMM entries as "MxNxK" (empty when n/a).
+	Shape string `json:"shape,omitempty"`
 	// Iters is how many operations the measurement averaged over.
 	Iters int `json:"iters"`
 	// NsPerOp, AllocsPerOp and BytesPerOp are per-operation averages.
@@ -62,6 +68,8 @@ type BenchReport struct {
 	Seed       uint64       `json:"seed"`
 	Aggregate  []BenchEntry `json:"aggregate"`
 	Transport  []BenchEntry `json:"transport"`
+	Gemm       []BenchEntry `json:"gemm,omitempty"`
+	TrainStep  []BenchEntry `json:"train_step,omitempty"`
 	Round      RoundBench   `json:"round"`
 }
 
@@ -106,9 +114,9 @@ func (discardConn) Close() error                     { return nil }
 func (discardConn) SetWriteDeadline(time.Time) error { return nil }
 func (discardConn) SetReadDeadline(time.Time) error  { return nil }
 
-// runPerf executes the benchmark pass and writes the JSON report to
-// path.
-func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
+// runPerf executes the benchmark pass, writes the JSON report to path,
+// and returns it (so -diffbase can compare without re-reading the file).
+func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport, error) {
 	minTime := 200 * time.Millisecond
 	dims := []int{10_000, 100_000}
 	if quick {
@@ -135,6 +143,17 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
 			name, d, inputs, workers, ns, allocs)
 	}
 
+	addShaped := func(list *[]BenchEntry, name, shape string, workers int, fn func()) {
+		iters, ns, allocs, bytes := measure(minTime, fn)
+		e := BenchEntry{
+			Name: name, Shape: shape, Workers: workers,
+			Iters: iters, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
+		}
+		*list = append(*list, e)
+		fmt.Fprintf(out, "  %-40s %-14s workers=%-2d %12.0f ns/op %8.1f allocs/op\n",
+			name, shape, workers, ns, allocs)
+	}
+
 	fmt.Fprintln(out, "Performance pass (aggregate rules):")
 	for _, d := range dims {
 		vecs := benchVecs(seed, n, d)
@@ -149,6 +168,85 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
 		mean := aggregate.Mean{}
 		add(&report.Aggregate, "aggregate/mean", d, n, 1,
 			func() { mean.Aggregate(vecs) })
+	}
+
+	fmt.Fprintln(out, "Performance pass (tensor GEMM, sizes of the nn layers):")
+	{
+		// Shapes mirror the dense and conv layers of internal/nn/models.go:
+		// the MLP's fc1 forward and weight-gradient GEMMs, a SmallCNN-style
+		// 3x3 conv lowering and a MobileNet-style 1x1 expansion, both over
+		// a batch of 8 16x16 feature maps.
+		shapes := []struct {
+			label   string
+			m, n, k int
+		}{
+			{"dense_fwd", 32, 256, 784},
+			{"dense_dw", 784, 256, 32},
+			{"conv3x3", 32, 2048, 144},
+			{"conv_pointwise", 96, 2048, 16},
+		}
+		r := randx.New(seed)
+		for _, s := range shapes {
+			a := make([]float64, s.m*s.k)
+			b := make([]float64, s.k*s.n)
+			c := make([]float64, s.m*s.n)
+			randx.Normal(r, a, 0, 1)
+			randx.Normal(r, b, 0, 1)
+			shape := fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k)
+			addShaped(&report.Gemm, "gemm/"+s.label, shape, 1,
+				func() { tensor.Gemm(c, a, b, s.m, s.n, s.k) })
+		}
+	}
+
+	fmt.Fprintln(out, "Performance pass (train_step, local SGD hot path):")
+	{
+		r := randx.New(seed ^ 0x7e57)
+		sched := nn.ConstantLR(0.05)
+
+		// Dense MLP matching the shapes used by the federated sweeps.
+		batch := 32
+		if quick {
+			batch = 8
+		}
+		mlp := nn.NewMLP(nn.MLPConfig{In: 784, Hidden: []int{256, 128}, NumClasses: 10, Seed: seed})
+		x := tensor.New(batch, 784)
+		x.FillNormal(r, 0, 1)
+		labels := make([]int, batch)
+		for i := range labels {
+			labels[i] = r.IntN(10)
+		}
+		opt := nn.NewSGD(0, 0)
+		add(&report.TrainStep, "train_step/mlp", 784, batch, 1, func() {
+			mlp.ZeroGrads()
+			mlp.TrainBatch(x, labels)
+			opt.Step(mlp.Params(), sched.LR(0))
+		})
+
+		// MobileNet-style inverted residual block (expand 1x1, depthwise
+		// 3x3, project 1x1, batch norm + ReLU6 throughout) with a small
+		// classifier head, over 16-channel 16x16 feature maps.
+		convBatch := 8
+		if quick {
+			convBatch = 2
+		}
+		cr := randx.Split(seed, "bench-conv-block")
+		conv := nn.NewNetwork(nn.NewSequential("conv_block",
+			nn.NewInvertedResidual("ir", 16, 16, 1, 6, cr),
+			nn.NewGlobalAvgPool2D("gap"),
+			nn.NewDense("cls", 16, 10, cr),
+		), nn.SoftmaxCrossEntropy{})
+		cx := tensor.New(convBatch, 16, 16, 16)
+		cx.FillNormal(r, 0, 1)
+		clabels := make([]int, convBatch)
+		for i := range clabels {
+			clabels[i] = r.IntN(10)
+		}
+		copt := nn.NewSGD(0, 0)
+		add(&report.TrainStep, "train_step/conv_block", 16*16*16, convBatch, 1, func() {
+			conv.ZeroGrads()
+			conv.TrainBatch(cx, clabels)
+			copt.Step(conv.Params(), sched.LR(0))
+		})
 	}
 
 	fmt.Fprintln(out, "Performance pass (transport encode):")
@@ -184,7 +282,7 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
 		}
 		res, err := fedms.Run(cfg)
 		if err != nil {
-			return fmt.Errorf("round benchmark: %w", err)
+			return nil, fmt.Errorf("round benchmark: %w", err)
 		}
 		var total time.Duration
 		for _, st := range res.Stats {
@@ -203,12 +301,12 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) error {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
-	return nil
+	return report, nil
 }

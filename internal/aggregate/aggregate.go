@@ -114,7 +114,7 @@ func (t TrimmedMean) Aggregate(vecs [][]float64) []float64 {
 	n := len(vecs)
 	m := t.TrimCount(n)
 	out := make([]float64, d)
-	forEachCoordChunk(d, t.Workers, func(lo, hi int) {
+	forEachCoordChunk(d, n, t.Workers, func(lo, hi int) {
 		col := make([]float64, n)
 		win := make([]float64, 2*m) // selection-window scratch, shared by the chunk's columns
 		for j := lo; j < hi; j++ {
@@ -143,7 +143,7 @@ func (c CoordinateMedian) Aggregate(vecs [][]float64) []float64 {
 	d := checkInputs(vecs, "median")
 	n := len(vecs)
 	out := make([]float64, d)
-	forEachCoordChunk(d, c.Workers, func(lo, hi int) {
+	forEachCoordChunk(d, n, c.Workers, func(lo, hi int) {
 		col := make([]float64, n)
 		for j := lo; j < hi; j++ {
 			for i, v := range vecs {

@@ -3,6 +3,7 @@ package aggregate
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -245,12 +246,12 @@ func coordParallelRules(workers int) []Rule {
 // TestSerialParallelBitIdentical: the worker-parallel coordinate path
 // must produce bit-for-bit the output of the serial path for any worker
 // count — the engine's determinism guarantee (Config.Workers must not
-// change results). d spans both sides of the parallel-dispatch gate and
-// n covers odd and even column lengths.
+// change results). d·n spans both sides of the parallel-dispatch work
+// gate (minParallelWork) and n covers odd and even column lengths.
 func TestSerialParallelBitIdentical(t *testing.T) {
 	r := randx.New(21)
 	for _, n := range []int{7, 10} {
-		for _, d := range []int{64, 2048, 5000} {
+		for _, d := range []int{64, 2048, 5000, minParallelWork/7 + 1} {
 			vecs := randomVecs(r, n, d)
 			for ri, serial := range coordParallelRules(1) {
 				want := serial.Aggregate(vecs)
@@ -268,12 +269,60 @@ func TestSerialParallelBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCoordChunkWorkGate: the parallel dispatch must key on the total
+// work volume d·n, not d alone — a wide-but-cheap aggregation (large d,
+// tiny n·d product) pays goroutine handoff for columns that cost almost
+// nothing, which regressed small-model multi-worker rounds. Below the
+// gate the callback must run exactly once on the calling goroutine
+// covering [0, d); above it, with workers > 1, the chunks must be a
+// disjoint exact partition.
+func TestCoordChunkWorkGate(t *testing.T) {
+	type span struct{ lo, hi int }
+	collect := func(d, n, workers int) []span {
+		var mu sync.Mutex
+		var spans []span
+		forEachCoordChunk(d, n, workers, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, span{lo, hi})
+			mu.Unlock()
+		})
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		return spans
+	}
+
+	// d alone used to trip the old d-only gate; with n=1 the volume is
+	// far below minParallelWork, so this must stay serial.
+	d := minParallelWork / 2
+	if got := collect(d, 1, 8); len(got) != 1 || got[0] != (span{0, d}) {
+		t.Fatalf("d=%d n=1 workers=8: want single serial span, got %v", d, got)
+	}
+	// The same d with enough inputs crosses the gate and must fan out.
+	if got := collect(d, 4, 8); len(got) < 2 {
+		t.Fatalf("d=%d n=4 workers=8: want parallel fan-out, got %v", d, got)
+	} else {
+		at := 0
+		for _, s := range got {
+			if s.lo != at || s.hi <= s.lo {
+				t.Fatalf("chunks not a disjoint partition: %v", got)
+			}
+			at = s.hi
+		}
+		if at != d {
+			t.Fatalf("chunks cover [0,%d), want [0,%d)", at, d)
+		}
+	}
+	// workers <= 1 stays serial regardless of volume.
+	if got := collect(d, 64, 1); len(got) != 1 || got[0] != (span{0, d}) {
+		t.Fatalf("workers=1: want single serial span, got %v", got)
+	}
+}
+
 // TestParallelPathFreshOutput: the parallel path must neither retain
 // references to its inputs nor mutate them — the engine hands the same
 // received slices to every client's filter concurrently.
 func TestParallelPathFreshOutput(t *testing.T) {
 	r := randx.New(22)
-	const n, d = 9, 4096
+	const n, d = 9, minParallelWork/9 + 1 // past the work gate: genuinely parallel
 	for _, rule := range coordParallelRules(8) {
 		vecs := randomVecs(r, n, d)
 		snapshot := make([][]float64, n)

@@ -6,27 +6,32 @@ import (
 	"sync"
 )
 
-// minParallelDim is the vector width below which the coordinate-chunked
-// rules stay serial: goroutine handoff costs more than sorting a few
-// thousand short columns. The gate depends only on d, never on Workers,
-// so it cannot break the bit-identity contract.
-const minParallelDim = 2048
+// minParallelWork is the total work volume (coordinates × inputs, d·n)
+// below which the coordinate-chunked rules stay serial: goroutine handoff
+// costs more than sorting a few thousand short columns. Gating on the
+// volume rather than d alone avoids the small-d regression where a wide
+// worker pool fans out over columns that each cost almost nothing (few
+// inputs), yet still parallelizes genuinely heavy small-d/large-n
+// aggregations. The gate depends only on (d, n), never on Workers, so it
+// cannot break the bit-identity contract.
+const minParallelWork = 1 << 18
 
 // forEachCoordChunk invokes fn over a partition of [0, d) into
-// contiguous chunks, one per worker goroutine. workers <= 1 (or a small
-// d) runs fn(0, d) on the calling goroutine. Each invocation owns its
-// chunk exclusively, so fn may write disjoint ranges of a shared output
-// without synchronization. Per-coordinate arithmetic is identical in
-// every chunking, which keeps rule outputs bit-identical for any worker
-// count.
-func forEachCoordChunk(d, workers int, fn func(lo, hi int)) {
+// contiguous chunks, one per worker goroutine. n is the number of input
+// vectors, used only to size the work-volume gate: workers <= 1 or
+// d·n < minParallelWork runs fn(0, d) on the calling goroutine. Each
+// invocation owns its chunk exclusively, so fn may write disjoint ranges
+// of a shared output without synchronization. Per-coordinate arithmetic
+// is identical in every chunking, which keeps rule outputs bit-identical
+// for any worker count.
+func forEachCoordChunk(d, n, workers int, fn func(lo, hi int)) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > d {
 		workers = d
 	}
-	if workers <= 1 || d < minParallelDim {
+	if workers <= 1 || d*n < minParallelWork {
 		fn(0, d)
 		return
 	}

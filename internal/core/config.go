@@ -110,9 +110,11 @@ type Config struct {
 	// after filtering). Clamped to K.
 	EvalClients int
 	// Workers bounds the engine's parallelism (default GOMAXPROCS): the
-	// client training pool, the per-client filter stage, and the
-	// coordinate-parallel aggregation path of the filter rules all share
-	// this knob. Results are bit-identical for any value.
+	// client training pool, the per-client filter stage, the
+	// coordinate-parallel aggregation path of the filter rules, and the
+	// GEMM kernels inside each client's local SGD steps (each learner
+	// receives an equal slice of the pool) all share this knob. Results
+	// are bit-identical for any value.
 	Workers int
 	// Logger, when non-nil, receives one structured record per round
 	// (round index, losses, accuracy, communication, spread) — wire it

@@ -86,6 +86,18 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 	}
 	cfg.Filter = aggregate.WithWorkers(cfg.Filter, workers)
 	cfg.ServerFilter = aggregate.WithWorkers(cfg.ServerFilter, workers)
+	// Local training shares the same budget: clients train concurrently
+	// (forEachClient), so each learner gets an equal slice of the pool
+	// for its GEMM kernels. Learners with an explicit setting keep it.
+	perLearner := workers / len(learners)
+	if perLearner < 1 {
+		perLearner = 1
+	}
+	for _, l := range learners {
+		if wl, ok := l.(workerLearner); ok && wl.Workers() == 0 {
+			wl.SetWorkers(perLearner)
+		}
+	}
 	lastAgg := make([][]float64, cfg.Servers)
 	for i := range lastAgg {
 		lastAgg[i] = append([]float64(nil), w0...)

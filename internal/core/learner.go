@@ -88,6 +88,15 @@ func NewNNLearner(cfg NNLearnerConfig) *NNLearner {
 // Net exposes the wrapped network (used by examples for prediction).
 func (l *NNLearner) Net() *nn.Network { return l.net }
 
+// SetWorkers bounds the goroutine fan-out of this learner's training
+// kernels (Dense/Conv2D GEMMs). Training results are bit-identical for
+// any worker count. NewEngine calls this for learners that have not set
+// it explicitly, giving each client an equal slice of cfg.Workers.
+func (l *NNLearner) SetWorkers(w int) { l.net.SetWorkers(w) }
+
+// Workers reports the training kernel budget (0 when unset).
+func (l *NNLearner) Workers() int { return l.net.Workers() }
+
 // NumParams implements Learner.
 func (l *NNLearner) NumParams() int { return l.net.NumParams() }
 
@@ -142,4 +151,14 @@ func (l *NNLearner) Evaluate() (float64, float64) {
 	return totalLoss / float64(n), float64(correct) / float64(n)
 }
 
-var _ Learner = (*NNLearner)(nil)
+// workerLearner is implemented by learners whose local training can fan
+// out over a bounded goroutine budget.
+type workerLearner interface {
+	SetWorkers(int)
+	Workers() int
+}
+
+var (
+	_ Learner       = (*NNLearner)(nil)
+	_ workerLearner = (*NNLearner)(nil)
+)

@@ -11,7 +11,11 @@ import (
 type ReLU struct {
 	name string
 	cap  float64
-	mask []bool
+
+	mask    []bool // armed for Backward; nil otherwise
+	maskBuf []bool
+	outB    outCache
+	dxB     outCache
 }
 
 // NewReLU returns an unclipped rectifier.
@@ -29,22 +33,57 @@ func (l *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.outB.like(x)
 	d := out.Data()
+	xd := x.Data()
 	var mask []bool
 	if train {
-		mask = make([]bool, len(d))
+		l.maskBuf = growB(l.maskBuf, len(d))
+		mask = l.maskBuf
 	}
-	for i, v := range d {
-		pass := v > 0 && (l.cap <= 0 || v < l.cap)
-		switch {
-		case v <= 0:
-			d[i] = 0
-		case l.cap > 0 && v >= l.cap:
-			d[i] = l.cap
+	// Four specialized loops (capped × masked) keep the per-element work
+	// to the comparisons alone on this hot path.
+	switch {
+	case l.cap > 0 && mask != nil:
+		for i, v := range xd {
+			if v <= 0 {
+				d[i] = 0
+				mask[i] = false
+			} else if v >= l.cap {
+				d[i] = l.cap
+				mask[i] = false
+			} else {
+				d[i] = v
+				mask[i] = true
+			}
 		}
-		if train {
-			mask[i] = pass
+	case l.cap > 0:
+		for i, v := range xd {
+			if v <= 0 {
+				d[i] = 0
+			} else if v >= l.cap {
+				d[i] = l.cap
+			} else {
+				d[i] = v
+			}
+		}
+	case mask != nil:
+		for i, v := range xd {
+			if v > 0 {
+				d[i] = v
+				mask[i] = true
+			} else {
+				d[i] = 0
+				mask[i] = false
+			}
+		}
+	default:
+		for i, v := range xd {
+			if v > 0 {
+				d[i] = v
+			} else {
+				d[i] = 0
+			}
 		}
 	}
 	if train {
@@ -58,10 +97,13 @@ func (l *ReLU) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.mask == nil {
 		panic("nn: ReLU.Backward before Forward(train)")
 	}
-	out := grad.Clone()
+	out := l.dxB.like(grad)
 	d := out.Data()
-	for i := range d {
-		if !l.mask[i] {
+	gd := grad.Data()
+	for i, g := range gd {
+		if l.mask[i] {
+			d[i] = g
+		} else {
 			d[i] = 0
 		}
 	}
@@ -76,7 +118,11 @@ type Dropout struct {
 	name string
 	rate float64
 	rng  *randx.RNG
-	mask []float64
+
+	mask    []float64 // armed for Backward; nil otherwise
+	maskBuf []float64
+	outB    outCache
+	dxB     outCache
 }
 
 // NewDropout constructs a dropout layer with the given drop rate in
@@ -100,15 +146,19 @@ func (l *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		l.mask = nil
 		return x
 	}
-	out := x.Clone()
+	out := l.outB.like(x)
 	d := out.Data()
+	xd := x.Data()
 	keep := 1 - l.rate
-	mask := make([]float64, len(d))
-	for i := range d {
+	l.maskBuf = growF(l.maskBuf, len(d))
+	mask := l.maskBuf
+	for i, v := range xd {
 		if l.rng.Float64() < keep {
 			mask[i] = 1 / keep
+		} else {
+			mask[i] = 0
 		}
-		d[i] *= mask[i]
+		d[i] = v * mask[i]
 	}
 	l.mask = mask
 	return out
@@ -119,10 +169,11 @@ func (l *Dropout) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
+	out := l.dxB.like(grad)
 	d := out.Data()
-	for i := range d {
-		d[i] *= l.mask[i]
+	gd := grad.Data()
+	for i, g := range gd {
+		d[i] = g * l.mask[i]
 	}
 	l.mask = nil
 	return out
@@ -132,7 +183,10 @@ func (l *Dropout) Backward(grad *tensor.Dense) *tensor.Dense {
 // bookkeeping only; gradients flow through unchanged.
 type Flatten struct {
 	name      string
-	lastShape []int
+	lastShape []int // armed for Backward; nil otherwise
+	shapeBuf  []int
+	fwdView   viewCache
+	bwdView   viewCache
 }
 
 // NewFlatten constructs a flattening layer.
@@ -147,10 +201,14 @@ func (l *Flatten) Params() []*Param { return nil }
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	if train {
-		l.lastShape = x.Shape()
+		l.shapeBuf = l.shapeBuf[:0]
+		for i := 0; i < x.Rank(); i++ {
+			l.shapeBuf = append(l.shapeBuf, x.Dim(i))
+		}
+		l.lastShape = l.shapeBuf
 	}
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	return l.fwdView.get(x.Data(), n, x.Len()/n)
 }
 
 // Backward implements Layer.
@@ -158,7 +216,7 @@ func (l *Flatten) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.lastShape == nil {
 		panic("nn: Flatten.Backward before Forward(train)")
 	}
-	out := grad.Reshape(l.lastShape...)
+	out := l.bwdView.get(grad.Data(), l.lastShape...)
 	l.lastShape = nil
 	return out
 }

@@ -9,7 +9,10 @@ import (
 // Sigmoid is the logistic activation 1/(1+e^{-x}).
 type Sigmoid struct {
 	name string
-	out  []float64
+	out  []float64 // armed for Backward; nil otherwise
+	buf  []float64
+	outB outCache
+	dxB  outCache
 }
 
 // NewSigmoid constructs a sigmoid activation.
@@ -23,13 +26,14 @@ func (l *Sigmoid) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *Sigmoid) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.outB.like(x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		d[i] = 1 / (1 + math.Exp(-v))
 	}
 	if train {
-		l.out = append(l.out[:0], d...)
+		l.buf = append(l.buf[:0], d...)
+		l.out = l.buf
 	}
 	return out
 }
@@ -39,11 +43,11 @@ func (l *Sigmoid) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.out == nil {
 		panic("nn: Sigmoid.Backward before Forward(train)")
 	}
-	dx := grad.Clone()
+	dx := l.dxB.like(grad)
 	d := dx.Data()
-	for i := range d {
+	for i, g := range grad.Data() {
 		s := l.out[i]
-		d[i] *= s * (1 - s)
+		d[i] = g * (s * (1 - s))
 	}
 	l.out = nil
 	return dx
@@ -52,7 +56,10 @@ func (l *Sigmoid) Backward(grad *tensor.Dense) *tensor.Dense {
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
 	name string
-	out  []float64
+	out  []float64 // armed for Backward; nil otherwise
+	buf  []float64
+	outB outCache
+	dxB  outCache
 }
 
 // NewTanh constructs a tanh activation.
@@ -66,13 +73,14 @@ func (l *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *Tanh) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.outB.like(x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		d[i] = math.Tanh(v)
 	}
 	if train {
-		l.out = append(l.out[:0], d...)
+		l.buf = append(l.buf[:0], d...)
+		l.out = l.buf
 	}
 	return out
 }
@@ -82,10 +90,10 @@ func (l *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.out == nil {
 		panic("nn: Tanh.Backward before Forward(train)")
 	}
-	dx := grad.Clone()
+	dx := l.dxB.like(grad)
 	d := dx.Data()
-	for i := range d {
-		d[i] *= 1 - l.out[i]*l.out[i]
+	for i, g := range grad.Data() {
+		d[i] = g * (1 - l.out[i]*l.out[i])
 	}
 	l.out = nil
 	return dx
@@ -95,7 +103,11 @@ func (l *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
 type LeakyReLU struct {
 	name  string
 	alpha float64
-	mask  []bool
+
+	mask    []bool // armed for Backward; nil otherwise
+	maskBuf []bool
+	outB    outCache
+	dxB     outCache
 }
 
 // NewLeakyReLU constructs a leaky rectifier (alpha defaults to 0.01
@@ -115,15 +127,18 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.outB.like(x)
 	d := out.Data()
 	var mask []bool
 	if train {
-		mask = make([]bool, len(d))
+		l.maskBuf = growB(l.maskBuf, len(d))
+		mask = l.maskBuf
 	}
-	for i, v := range d {
+	for i, v := range x.Data() {
 		pos := v > 0
-		if !pos {
+		if pos {
+			d[i] = v
+		} else {
 			d[i] = l.alpha * v
 		}
 		if train {
@@ -141,11 +156,13 @@ func (l *LeakyReLU) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.mask == nil {
 		panic("nn: LeakyReLU.Backward before Forward(train)")
 	}
-	dx := grad.Clone()
+	dx := l.dxB.like(grad)
 	d := dx.Data()
-	for i := range d {
-		if !l.mask[i] {
-			d[i] *= l.alpha
+	for i, g := range grad.Data() {
+		if l.mask[i] {
+			d[i] = g
+		} else {
+			d[i] = g * l.alpha
 		}
 	}
 	l.mask = nil
@@ -163,9 +180,14 @@ type LayerNorm struct {
 	gamma *Param
 	beta  *Param
 
-	xhat   []float64
+	xhat   []float64 // armed for Backward; nil otherwise
 	invStd []float64
 	rows   int
+
+	xhatBuf   []float64
+	invStdBuf []float64
+	outB      outCache
+	dxB       outCache
 }
 
 // NewLayerNorm constructs a layer-norm over feature dimension dim.
@@ -189,12 +211,13 @@ func (l *LayerNorm) Params() []*Param { return []*Param{l.gamma, l.beta} }
 func (l *LayerNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	x = as2D(x, l.dim, l.name)
 	n := x.Dim(0)
-	out := tensor.New(n, l.dim)
+	out := l.outB.get(n, l.dim)
 	g, b := l.gamma.Value.Data(), l.beta.Value.Data()
 	var xhat, invStd []float64
 	if train {
-		xhat = make([]float64, n*l.dim)
-		invStd = make([]float64, n)
+		l.xhatBuf = growF(l.xhatBuf, n*l.dim)
+		l.invStdBuf = growF(l.invStdBuf, n)
+		xhat, invStd = l.xhatBuf, l.invStdBuf
 	}
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
@@ -234,7 +257,7 @@ func (l *LayerNorm) Backward(grad *tensor.Dense) *tensor.Dense {
 		panic("nn: LayerNorm.Backward before Forward(train)")
 	}
 	n := l.rows
-	dx := tensor.New(n, l.dim)
+	dx := l.dxB.get(n, l.dim)
 	g := l.gamma.Value.Data()
 	dg, db := l.gamma.Grad.Data(), l.beta.Grad.Data()
 	dd := float64(l.dim)

@@ -26,6 +26,16 @@ type Conv2D struct {
 	b *Param // [outC], nil when useBias is false
 
 	lastX *tensor.Dense
+
+	// Scratch arena (see scratch.go): the batched im2col matrix, the
+	// gathered/scattered per-group GEMM operand, its backward dual, and
+	// the cached output/input-gradient tensors.
+	workers int
+	cols    []float64
+	gbuf    []float64
+	dcols   []float64
+	outB    outCache
+	dxB     outCache
 }
 
 // ConvOpts configures optional Conv2D behaviour.
@@ -95,7 +105,17 @@ func (c *Conv2D) OutShape(h, w int) (int, int) {
 	return tensor.ConvOutSize(h, c.kh, c.stride, c.pad), tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
 }
 
-// Forward implements Layer.
+// setWorkers implements workersSetter: the per-group GEMMs fan out over
+// up to w goroutines.
+func (c *Conv2D) setWorkers(w int) { c.workers = w }
+
+// Forward implements Layer. The whole batch is lowered once per group
+// (Im2ColBatch) and convolved with a single GEMM per group, instead of N
+// small GEMMs; the result lands in a [outCg, N*L] buffer whose rows are
+// scattered back into the [N, outC, L] output. Per output element the
+// arithmetic — a dot over the patch dimension, then a bias add — is the
+// same as the per-image lowering's, in the same order, so results are
+// bit-identical to it.
 func (c *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	if x.Rank() != 4 || x.Dim(1) != c.inC {
 		panic(fmt.Sprintf("nn: %s expects [N,%d,H,W], got %v", c.name, c.inC, x.Shape()))
@@ -103,41 +123,79 @@ func (c *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	outH, outW := c.OutShape(h, w)
 	l := outH * outW
+	nl := n * l
 	inCg := c.inC / c.groups
 	outCg := c.outC / c.groups
 	patch := inCg * c.kh * c.kw
 
-	out := tensor.New(n, c.outC, outH, outW)
-	cols := make([]float64, patch*l)
+	out := c.outB.get(n, c.outC, outH, outW)
 	xd := x.Data()
 	od := out.Data()
-	for i := 0; i < n; i++ {
-		img := xd[i*c.inC*h*w : (i+1)*c.inC*h*w]
-		dst := od[i*c.outC*l : (i+1)*c.outC*l]
-		for g := 0; g < c.groups; g++ {
-			src := img[g*inCg*h*w : (g+1)*inCg*h*w]
-			tensor.Im2Col(src, inCg, h, w, c.kh, c.kw, c.stride, c.pad, cols)
-			wBlock := c.w.Value.Data()[g*outCg*patch : (g+1)*outCg*patch]
-			tensor.Gemm(dst[g*outCg*l:(g+1)*outCg*l], wBlock, cols, outCg, l, patch)
+	wv := c.w.Value.Data()
+	if c.depthwise() {
+		// groups == channels: convolve each plane directly — no lowering,
+		// no per-group GEMM dispatch. Bit-identical to the lowered path.
+		tensor.DepthwiseForward(xd, n, c.inC, h, w, wv, c.kh, c.kw, c.stride, c.pad, c.workers, od)
+		c.addBias(od, n, l)
+		if train {
+			c.lastX = x
 		}
-		if c.useBias {
-			bias := c.b.Value.Data()
-			for ch := 0; ch < c.outC; ch++ {
-				plane := dst[ch*l : (ch+1)*l]
-				bv := bias[ch]
-				for j := range plane {
-					plane[j] += bv
-				}
+		return out
+	}
+	c.cols = growF(c.cols, patch*nl)
+	c.gbuf = growF(c.gbuf, outCg*nl)
+	for g := 0; g < c.groups; g++ {
+		tensor.Im2ColBatch(xd[g*inCg*h*w:], c.inC*h*w, n, inCg, h, w, c.kh, c.kw, c.stride, c.pad, c.cols)
+		wBlock := wv[g*outCg*patch : (g+1)*outCg*patch]
+		tensor.GemmWorkers(c.gbuf, wBlock, c.cols, outCg, nl, patch, c.workers)
+		for ch := 0; ch < outCg; ch++ {
+			grow := c.gbuf[ch*nl : (ch+1)*nl]
+			oc := g*outCg + ch
+			for i := 0; i < n; i++ {
+				copy(od[(i*c.outC+oc)*l:(i*c.outC+oc+1)*l], grow[i*l:(i+1)*l])
 			}
 		}
 	}
+	c.addBias(od, n, l)
 	if train {
 		c.lastX = x
 	}
 	return out
 }
 
-// Backward implements Layer.
+// depthwise reports whether this layer is a depthwise convolution
+// (groups == inC == outC), which takes the direct per-plane path instead
+// of im2col lowering.
+func (c *Conv2D) depthwise() bool {
+	return c.groups == c.inC && c.outC == c.inC
+}
+
+// addBias adds the per-channel bias to an [n, outC, l] output buffer.
+func (c *Conv2D) addBias(od []float64, n, l int) {
+	if !c.useBias {
+		return
+	}
+	bias := c.b.Value.Data()
+	for i := 0; i < n; i++ {
+		dst := od[i*c.outC*l : (i+1)*c.outC*l]
+		for ch := 0; ch < c.outC; ch++ {
+			plane := dst[ch*l : (ch+1)*l]
+			bv := bias[ch]
+			for j := range plane {
+				plane[j] += bv
+			}
+		}
+	}
+}
+
+// Backward implements Layer. The forward lowering is recomputed (batched
+// im2col is cheaper than caching N column matrices), the per-image output
+// gradients are gathered into the same [outCg, N*L] layout, and each
+// group then needs exactly two GEMMs: an accumulating A·Bᵀ for dW and an
+// Aᵀ·B for the column gradients, which Col2ImBatch scatters straight
+// into this group's disjoint slices of dx. Accumulation orders match the
+// per-image lowering (batched columns are image-major), so gradients are
+// bit-identical to it.
 func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
 	if c.lastX == nil {
 		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", c.name))
@@ -146,66 +204,68 @@ func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	outH, outW := c.OutShape(h, w)
 	l := outH * outW
+	nl := n * l
 	inCg := c.inC / c.groups
 	outCg := c.outC / c.groups
 	patch := inCg * c.kh * c.kw
 
-	dx := tensor.New(x.Shape()...)
-	cols := make([]float64, patch*l)
-	dcols := make([]float64, patch*l)
-	scatter := make([]float64, inCg*h*w)
-
+	dx := c.dxB.get(n, c.inC, h, w)
 	xd := x.Data()
 	gd := grad.Data()
 	dxd := dx.Data()
 	wv := c.w.Value.Data()
 	wg := c.w.Grad.Data()
 
-	for i := 0; i < n; i++ {
-		img := xd[i*c.inC*h*w : (i+1)*c.inC*h*w]
-		g := gd[i*c.outC*l : (i+1)*c.outC*l]
-		dimg := dxd[i*c.inC*h*w : (i+1)*c.inC*h*w]
-		for grp := 0; grp < c.groups; grp++ {
-			src := img[grp*inCg*h*w : (grp+1)*inCg*h*w]
-			tensor.Im2Col(src, inCg, h, w, c.kh, c.kw, c.stride, c.pad, cols)
-			gBlock := g[grp*outCg*l : (grp+1)*outCg*l]
+	if c.depthwise() {
+		tensor.DepthwiseBackward(xd, gd, n, c.inC, h, w, wv, c.kh, c.kw, c.stride, c.pad, c.workers, wg, dxd)
+		c.accumBiasGrad(gd, n, l)
+		c.lastX = nil
+		return dx
+	}
 
-			// dW[g] += gBlock · colsᵀ  — implemented as accumulating
-			// gemm over the transposed cols.
-			colsT := transposeFlat(cols, patch, l)
-			tensor.GemmAcc(wg[grp*outCg*patch:(grp+1)*outCg*patch], gBlock, colsT, outCg, patch, l)
+	c.cols = growF(c.cols, patch*nl)
+	c.dcols = growF(c.dcols, patch*nl)
+	c.gbuf = growF(c.gbuf, outCg*nl)
 
-			// dcols = W[g]ᵀ · gBlock
-			wT := transposeFlat(wv[grp*outCg*patch:(grp+1)*outCg*patch], outCg, patch)
-			tensor.Gemm(dcols, wT, gBlock, patch, l, outCg)
-			tensor.Col2Im(dcols, inCg, h, w, c.kh, c.kw, c.stride, c.pad, scatter)
-			tensor.VecAdd(dimg[grp*inCg*h*w:(grp+1)*inCg*h*w], scatter)
-		}
-		if c.useBias {
-			bg := c.b.Grad.Data()
-			for ch := 0; ch < c.outC; ch++ {
-				plane := g[ch*l : (ch+1)*l]
-				s := 0.0
-				for _, v := range plane {
-					s += v
-				}
-				bg[ch] += s
+	for g := 0; g < c.groups; g++ {
+		tensor.Im2ColBatch(xd[g*inCg*h*w:], c.inC*h*w, n, inCg, h, w, c.kh, c.kw, c.stride, c.pad, c.cols)
+		for ch := 0; ch < outCg; ch++ {
+			grow := c.gbuf[ch*nl : (ch+1)*nl]
+			oc := g*outCg + ch
+			for i := 0; i < n; i++ {
+				copy(grow[i*l:(i+1)*l], gd[(i*c.outC+oc)*l:(i*c.outC+oc+1)*l])
 			}
 		}
+
+		// dW[g] += gbuf · colsᵀ, both operands already patch-major.
+		tensor.GemmTBAcc(wg[g*outCg*patch:(g+1)*outCg*patch], c.gbuf, c.cols, outCg, patch, nl, c.workers)
+
+		// dcols = W[g]ᵀ · gbuf, then scatter into dx (Col2ImBatch zeroes
+		// each image region of this group before accumulating).
+		tensor.GemmTA(c.dcols, wv[g*outCg*patch:(g+1)*outCg*patch], c.gbuf, patch, nl, outCg, c.workers)
+		tensor.Col2ImBatch(c.dcols, c.inC*h*w, n, inCg, h, w, c.kh, c.kw, c.stride, c.pad, dxd[g*inCg*h*w:])
 	}
+	c.accumBiasGrad(gd, n, l)
 	c.lastX = nil
 	return dx
 }
 
-// transposeFlat transposes an m×n row-major flat matrix into a new
-// buffer.
-func transposeFlat(a []float64, m, n int) []float64 {
-	out := make([]float64, m*n)
-	for i := 0; i < m; i++ {
-		row := a[i*n : (i+1)*n]
-		for j, v := range row {
-			out[j*m+i] = v
+// accumBiasGrad accumulates the per-channel bias gradient from an
+// [n, outC, l] output-gradient buffer, image-major for bit-stable order.
+func (c *Conv2D) accumBiasGrad(gd []float64, n, l int) {
+	if !c.useBias {
+		return
+	}
+	bg := c.b.Grad.Data()
+	for i := 0; i < n; i++ {
+		g := gd[i*c.outC*l : (i+1)*c.outC*l]
+		for ch := 0; ch < c.outC; ch++ {
+			plane := g[ch*l : (ch+1)*l]
+			s := 0.0
+			for _, v := range plane {
+				s += v
+			}
+			bg[ch] += s
 		}
 	}
-	return out
 }

@@ -17,6 +17,10 @@ type Dense struct {
 	b    *Param // [out]
 
 	lastX *tensor.Dense
+
+	workers int
+	outB    outCache
+	dxB     outCache
 }
 
 // NewDense constructs a fully connected layer with He-normal initialized
@@ -39,12 +43,16 @@ func (d *Dense) Name() string { return d.name }
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
+// setWorkers implements workersSetter.
+func (d *Dense) setWorkers(w int) { d.workers = w }
+
 // Forward implements Layer. x must have shape [N, in] (higher-rank inputs
 // are flattened per sample).
 func (d *Dense) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	x = as2D(x, d.in, d.name)
 	n := x.Dim(0)
-	out := tensor.MatMul(x, d.w.Value)
+	out := d.outB.get(n, d.out)
+	tensor.GemmWorkers(out.Data(), x.Data(), d.w.Value.Data(), n, d.out, d.in, d.workers)
 	bias := d.b.Value.Data()
 	for i := 0; i < n; i++ {
 		row := out.Row(i)
@@ -56,7 +64,9 @@ func (d *Dense) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The transposed-operand GEMM variants read W
+// and the cached input in place, so no transpose copy (or any other
+// buffer) is materialized.
 func (d *Dense) Backward(grad *tensor.Dense) *tensor.Dense {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward(train)")
@@ -64,15 +74,16 @@ func (d *Dense) Backward(grad *tensor.Dense) *tensor.Dense {
 	x := d.lastX
 	n := x.Dim(0)
 
-	// dW += xᵀ·g
-	tensor.GemmAcc(d.w.Grad.Data(), tensor.Transpose(x).Data(), grad.Data(), d.in, d.out, n)
+	// dW += xᵀ·g, with x read column-wise [n×in].
+	tensor.GemmTAAcc(d.w.Grad.Data(), x.Data(), grad.Data(), d.in, d.out, n, d.workers)
 	// db += column sums of g
 	bg := d.b.Grad.Data()
 	for i := 0; i < n; i++ {
 		tensor.VecAdd(bg, grad.Row(i))
 	}
-	// dx = g·Wᵀ
-	dx := tensor.MatMul(grad, tensor.Transpose(d.w.Value))
+	// dx = g·Wᵀ, with W read row-wise as logical columns [in×out].
+	dx := d.dxB.get(n, d.in)
+	tensor.GemmTB(dx.Data(), grad.Data(), d.w.Value.Data(), n, d.in, d.out, d.workers)
 	d.lastX = nil
 	return dx
 }

@@ -5,9 +5,10 @@ import "fedms/internal/tensor"
 // Network couples a layer graph with a loss function and caches the
 // parameter list. It is the trainable unit held by each Fed-MS client.
 type Network struct {
-	body   Layer
-	loss   Loss
-	params []*Param
+	body    Layer
+	loss    Loss
+	params  []*Param
+	workers int
 }
 
 // NewNetwork constructs a network from a body layer (usually a
@@ -18,6 +19,18 @@ func NewNetwork(body Layer, loss Loss) *Network {
 
 // Params returns the network's parameters in stable order.
 func (n *Network) Params() []*Param { return n.params }
+
+// SetWorkers threads a goroutine budget to every layer whose kernels can
+// fan out (Dense, Conv2D). Results are bit-identical for any worker
+// count — the GEMM kernels only repartition output rows — so this is
+// purely a throughput knob.
+func (n *Network) SetWorkers(w int) {
+	n.workers = w
+	setLayerWorkers(n.body, w)
+}
+
+// Workers reports the goroutine budget set by SetWorkers (0 when unset).
+func (n *Network) Workers() int { return n.workers }
 
 // NumParams returns the total scalar parameter count (including
 // batch-norm state).

@@ -25,10 +25,16 @@ type BatchNorm2D struct {
 	runMean *Param
 	runVar  *Param
 
-	// Forward caches for Backward.
+	// Forward caches for Backward. xhat is the armed view (nil when not
+	// armed); the Buf fields are the reusable storage behind it.
 	xhat   []float64
 	invStd []float64
-	shape  []int
+	dims   [4]int
+
+	xhatBuf   []float64
+	invStdBuf []float64
+	outB      outCache
+	dxB       outCache
 }
 
 // NewBatchNorm2D constructs a batch-norm layer with gamma=1, beta=0,
@@ -63,14 +69,15 @@ func (l *BatchNorm2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	plane := h * w
 	m := float64(n * plane)
 
-	out := tensor.New(x.Shape()...)
+	out := l.outB.like(x)
 	xd, od := x.Data(), out.Data()
 	gamma, beta := l.gamma.Value.Data(), l.beta.Value.Data()
 
 	var xhat, invStd []float64
 	if train {
-		xhat = make([]float64, len(xd))
-		invStd = make([]float64, c)
+		l.xhatBuf = growF(l.xhatBuf, len(xd))
+		l.invStdBuf = growF(l.invStdBuf, c)
+		xhat, invStd = l.xhatBuf, l.invStdBuf
 	}
 
 	for ch := 0; ch < c; ch++ {
@@ -118,7 +125,7 @@ func (l *BatchNorm2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		}
 	}
 	if train {
-		l.xhat, l.invStd, l.shape = xhat, invStd, x.Shape()
+		l.xhat, l.invStd, l.dims = xhat, invStd, [4]int{n, c, h, w}
 	}
 	return out
 }
@@ -128,11 +135,11 @@ func (l *BatchNorm2D) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.xhat == nil {
 		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
 	}
-	n, c, h, w := l.shape[0], l.shape[1], l.shape[2], l.shape[3]
+	n, c, h, w := l.dims[0], l.dims[1], l.dims[2], l.dims[3]
 	plane := h * w
 	m := float64(n * plane)
 
-	dx := tensor.New(l.shape...)
+	dx := l.dxB.get(n, c, h, w)
 	gd, dxd := grad.Data(), dx.Data()
 	gamma := l.gamma.Value.Data()
 	dgamma, dbeta := l.gamma.Grad.Data(), l.beta.Grad.Data()
@@ -159,6 +166,6 @@ func (l *BatchNorm2D) Backward(grad *tensor.Dense) *tensor.Dense {
 			}
 		}
 	}
-	l.xhat, l.invStd, l.shape = nil, nil, nil
+	l.xhat, l.invStd = nil, nil
 	return dx
 }

@@ -13,8 +13,12 @@ type MaxPool2D struct {
 	kernel int
 	stride int
 
-	argmax []int
-	shape  []int
+	argmax []int // armed for Backward; nil otherwise
+	dims   [4]int
+
+	argmaxBuf []int
+	outB      outCache
+	dxB       outCache
 }
 
 // NewMaxPool2D constructs a max pooling layer. stride defaults to kernel
@@ -40,11 +44,12 @@ func (l *MaxPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	outH := tensor.ConvOutSize(h, l.kernel, l.stride, 0)
 	outW := tensor.ConvOutSize(w, l.kernel, l.stride, 0)
-	out := tensor.New(n, c, outH, outW)
+	out := l.outB.get(n, c, outH, outW)
 	xd, od := x.Data(), out.Data()
 	var argmax []int
 	if train {
-		argmax = make([]int, out.Len())
+		l.argmaxBuf = growI(l.argmaxBuf, out.Len())
+		argmax = l.argmaxBuf
 	}
 	idx := 0
 	for i := 0; i < n; i++ {
@@ -80,7 +85,7 @@ func (l *MaxPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		}
 	}
 	if train {
-		l.argmax, l.shape = argmax, x.Shape()
+		l.argmax, l.dims = argmax, [4]int{n, c, h, w}
 	}
 	return out
 }
@@ -90,12 +95,13 @@ func (l *MaxPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
 	if l.argmax == nil {
 		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
 	}
-	dx := tensor.New(l.shape...)
+	dx := l.dxB.get(l.dims[0], l.dims[1], l.dims[2], l.dims[3])
+	dx.Zero() // the scatter below accumulates into a reused buffer
 	dxd, gd := dx.Data(), grad.Data()
 	for i, at := range l.argmax {
 		dxd[at] += gd[i]
 	}
-	l.argmax, l.shape = nil, nil
+	l.argmax = nil
 	return dx
 }
 
@@ -103,7 +109,11 @@ func (l *MaxPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
 // [N, C, H, W] to [N, C]. MobileNet V2 uses this before its classifier.
 type GlobalAvgPool2D struct {
 	name  string
-	shape []int
+	dims  [4]int
+	armed bool
+
+	outB outCache
+	dxB  outCache
 }
 
 // NewGlobalAvgPool2D constructs a global average pooling layer.
@@ -124,7 +134,7 @@ func (l *GlobalAvgPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	plane := h * w
-	out := tensor.New(n, c)
+	out := l.outB.get(n, c)
 	xd, od := x.Data(), out.Data()
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -137,19 +147,19 @@ func (l *GlobalAvgPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		}
 	}
 	if train {
-		l.shape = x.Shape()
+		l.dims, l.armed = [4]int{n, c, h, w}, true
 	}
 	return out
 }
 
 // Backward implements Layer.
 func (l *GlobalAvgPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
-	if l.shape == nil {
+	if !l.armed {
 		panic(fmt.Sprintf("nn: %s.Backward before Forward(train)", l.name))
 	}
-	n, c, h, w := l.shape[0], l.shape[1], l.shape[2], l.shape[3]
+	n, c, h, w := l.dims[0], l.dims[1], l.dims[2], l.dims[3]
 	plane := h * w
-	dx := tensor.New(l.shape...)
+	dx := l.dxB.get(n, c, h, w)
 	dxd, gd := dx.Data(), grad.Data()
 	inv := 1 / float64(plane)
 	for i := 0; i < n; i++ {
@@ -161,6 +171,6 @@ func (l *GlobalAvgPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
 			}
 		}
 	}
-	l.shape = nil
+	l.armed = false
 	return dx
 }

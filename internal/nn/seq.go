@@ -56,6 +56,8 @@ func (s *Sequential) Backward(grad *tensor.Dense) *tensor.Dense {
 type Residual struct {
 	name  string
 	inner Layer
+	outB  outCache
+	dxB   outCache
 }
 
 // NewResidual constructs a residual wrapper around inner.
@@ -71,14 +73,18 @@ func (r *Residual) Params() []*Param { return r.inner.Params() }
 
 // Forward implements Layer.
 func (r *Residual) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := r.inner.Forward(x, train).Clone()
+	inner := r.inner.Forward(x, train)
+	out := r.outB.like(x)
+	out.CopyFrom(inner)
 	out.Add(x)
 	return out
 }
 
 // Backward implements Layer.
 func (r *Residual) Backward(grad *tensor.Dense) *tensor.Dense {
-	dx := r.inner.Backward(grad).Clone()
+	inner := r.inner.Backward(grad)
+	dx := r.dxB.like(grad)
+	dx.CopyFrom(inner)
 	dx.Add(grad)
 	return dx
 }

@@ -28,76 +28,54 @@ func MatMulInto(out, a, b *Dense) {
 	Gemm(out.data, a.data, b.data, m, n, k)
 }
 
-// Gemm computes C = A·B for row-major flat buffers with A [m×k], B [k×n],
-// C [m×n]. It uses an ikj loop order so B is streamed contiguously, which
-// is the main optimization that matters in pure Go.
-func Gemm(c, a, b []float64, m, n, k int) {
-	for i := range c[:m*n] {
-		c[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for l := 0; l < k; l++ {
-			av := arow[l]
-			if av == 0 {
-				continue
-			}
-			brow := b[l*n : (l+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// GemmAcc computes C += A·B (no zeroing of C).
-func GemmAcc(c, a, b []float64, m, n, k int) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for l := 0; l < k; l++ {
-			av := arow[l]
-			if av == 0 {
-				continue
-			}
-			brow := b[l*n : (l+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
 // Transpose returns a new tensor with the transpose of a rank-2 tensor.
 func Transpose(a *Dense) *Dense {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
 	}
+	out := New(a.shape[1], a.shape[0])
+	TransposeInto(out, a)
+	return out
+}
+
+// TransposeInto writes the transpose of rank-2 a into out, which must
+// have shape [a.Dim(1), a.Dim(0)]. No allocation; out may be reused
+// across calls.
+func TransposeInto(out, a *Dense) {
+	if a.Rank() != 2 || out.Rank() != 2 {
+		panic("tensor: TransposeInto requires rank-2 tensors")
+	}
 	m, n := a.shape[0], a.shape[1]
-	out := New(n, m)
+	if out.shape[0] != n || out.shape[1] != m {
+		panic(fmt.Sprintf("tensor: TransposeInto shape mismatch %v -> %v", a.shape, out.shape))
+	}
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
 		for j, v := range row {
 			out.data[j*m+i] = v
 		}
 	}
-	return out
 }
 
 // MatVec computes y = A·x for A [m×k] and x of length k, returning y of
 // length m.
 func MatVec(a *Dense, x []float64) []float64 {
+	y := make([]float64, a.shape[0])
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes y = A·x into a caller-owned y of length m. No
+// allocation; y may be reused across calls.
+func MatVecInto(y []float64, a *Dense, x []float64) {
 	if a.Rank() != 2 {
 		panic("tensor: MatVec requires rank-2 tensor")
 	}
 	m, k := a.shape[0], a.shape[1]
-	if len(x) != k {
+	if len(x) != k || len(y) != m {
 		panic("tensor: MatVec dimension mismatch")
 	}
-	y := make([]float64, m)
 	for i := 0; i < m; i++ {
 		y[i] = VecDot(a.data[i*k:(i+1)*k], x)
 	}
-	return y
 }
