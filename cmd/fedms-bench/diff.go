@@ -8,12 +8,13 @@ import (
 )
 
 // Perf regression gate (`make bench-diff`): the perf pass is re-run and
-// its aggregate and train_step entries — the two sections covering the
-// filter and local-SGD hot paths — are compared against a committed
-// baseline report. A fresh entry whose ns/op exceeds the baseline by
-// more than the tolerance fails the gate. The other sections (gemm,
-// transport, round) are reported but advisory: they either feed the
-// train_step numbers already or depend on network-stack jitter.
+// its aggregate, train_step and codec entries — the sections covering
+// the filter, local-SGD and model-encode hot paths — are compared
+// against a committed baseline report. A fresh entry whose ns/op
+// exceeds the baseline by more than the tolerance fails the gate. The
+// other sections (gemm, transport, round) are reported but advisory:
+// they either feed the train_step numbers already or depend on
+// network-stack jitter.
 
 // loadBenchReport reads a BENCH_fedms.json written by runPerf.
 func loadBenchReport(path string) (*BenchReport, error) {
@@ -56,6 +57,7 @@ func diffBenchReports(out io.Writer, base, fresh *BenchReport, tol float64) erro
 	}{
 		{"aggregate", base.Aggregate, fresh.Aggregate},
 		{"train_step", base.TrainStep, fresh.TrainStep},
+		{"codec", base.Codec, fresh.Codec},
 	}
 	var regressions []string
 	for _, sec := range sections {

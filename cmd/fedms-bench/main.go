@@ -10,6 +10,7 @@
 //	fedms-bench -exp table2             # settings echo
 //	fedms-bench -exp theorem1           # O(1/T) rate check
 //	fedms-bench -exp commcost           # sparse vs full upload traffic
+//	fedms-bench -exp codec              # upload-codec bytes vs accuracy
 //	fedms-bench -exp ablation           # filter + upload ablations
 //	fedms-bench -exp all                # everything
 //	fedms-bench -exp perf               # perf pass -> BENCH_fedms.json
@@ -42,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedms-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|ablation|stats|sweep|perf|all")
+		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|codec|ablation|stats|sweep|perf|all")
 		attack   = fs.String("attack", "", "restrict fig2 to one attack (noise|random|safeguard|backward)")
 		quick    = fs.Bool("quick", false, "shrink rounds and dataset for a fast smoke pass")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
@@ -186,6 +187,18 @@ func run(args []string) error {
 		fmt.Fprintf(out, "  slowdown:      %.2fx\n\n", rt.Ratio)
 	}
 
+	if want("codec") {
+		rows, err := experiments.CodecCommCost(nil, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Upload codec communication cost (noise attack, eps=20%, beta=0.2):")
+		if err := experiments.WriteCodecCommCost(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
 	if want("ablation") {
 		tbl, err := experiments.FilterAblation(opts)
 		if err != nil {
@@ -286,7 +299,7 @@ func rounded(vals []float64) []string {
 }
 
 func anyKnown(exp string) bool {
-	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost ablation stats sweep perf"
+	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation stats sweep perf"
 	for _, k := range strings.Fields(known) {
 		if exp == k {
 			return true

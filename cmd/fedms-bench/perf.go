@@ -18,6 +18,7 @@ import (
 
 	"fedms"
 	"fedms/internal/aggregate"
+	"fedms/internal/compress"
 	"fedms/internal/nn"
 	"fedms/internal/randx"
 	"fedms/internal/tensor"
@@ -25,8 +26,9 @@ import (
 )
 
 // BenchSchema versions the BENCH_fedms.json layout. v2 added the gemm
-// and train_step sections (local-SGD hot path).
-const BenchSchema = "fedms-bench/perf/v2"
+// and train_step sections (local-SGD hot path); v3 added the codec
+// section (model encode/decode and bytes per frame).
+const BenchSchema = "fedms-bench/perf/v3"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -41,6 +43,9 @@ type BenchEntry struct {
 	Workers int `json:"workers,omitempty"`
 	// Shape describes GEMM entries as "MxNxK" (empty when n/a).
 	Shape string `json:"shape,omitempty"`
+	// FrameBytes is the encoded payload size for codec entries (0 when
+	// n/a) — the per-upload wire cost the codec buys.
+	FrameBytes int `json:"frame_bytes,omitempty"`
 	// Iters is how many operations the measurement averaged over.
 	Iters int `json:"iters"`
 	// NsPerOp, AllocsPerOp and BytesPerOp are per-operation averages.
@@ -70,6 +75,7 @@ type BenchReport struct {
 	Transport  []BenchEntry `json:"transport"`
 	Gemm       []BenchEntry `json:"gemm,omitempty"`
 	TrainStep  []BenchEntry `json:"train_step,omitempty"`
+	Codec      []BenchEntry `json:"codec,omitempty"`
 	Round      RoundBench   `json:"round"`
 }
 
@@ -141,6 +147,17 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 		*list = append(*list, e)
 		fmt.Fprintf(out, "  %-40s d=%-7d n=%-3d workers=%-2d %12.0f ns/op %8.1f allocs/op\n",
 			name, d, inputs, workers, ns, allocs)
+	}
+
+	addFramed := func(list *[]BenchEntry, name string, d, frameBytes int, fn func()) {
+		iters, ns, allocs, bytes := measure(minTime, fn)
+		e := BenchEntry{
+			Name: name, Dim: d, FrameBytes: frameBytes,
+			Iters: iters, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
+		}
+		*list = append(*list, e)
+		fmt.Fprintf(out, "  %-40s d=%-7d frame=%-8dB %12.0f ns/op %8.1f allocs/op\n",
+			name, d, frameBytes, ns, allocs)
 	}
 
 	addShaped := func(list *[]BenchEntry, name, shape string, workers int, fn func()) {
@@ -247,6 +264,34 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 			conv.TrainBatch(cx, clabels)
 			copt.Step(conv.Params(), sched.LR(0))
 		})
+	}
+
+	fmt.Fprintln(out, "Performance pass (model codecs):")
+	for _, d := range dims {
+		vec := benchVecs(seed^0xc0dec, 1, d)[0]
+		dst := make([]float64, d)
+		for _, spec := range []string{"dense", "topk:0.1", "q8", "ef+topk:0.1"} {
+			sp, err := compress.ParseSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			c, err := sp.NewCodec(seed)
+			if err != nil {
+				return nil, err
+			}
+			var buf []byte
+			var enc compress.Encoding
+			enc, buf = c.AppendEncode(buf[:0], vec)
+			frameBytes := len(buf)
+			addFramed(&report.Codec, "codec/encode/"+spec, d, frameBytes, func() {
+				enc, buf = c.AppendEncode(buf[:0], vec)
+			})
+			addFramed(&report.Codec, "codec/decode/"+spec, d, frameBytes, func() {
+				if err := compress.DecodePayloadInto(dst, enc, buf); err != nil {
+					panic(err)
+				}
+			})
+		}
 	}
 
 	fmt.Fprintln(out, "Performance pass (transport encode):")

@@ -33,9 +33,11 @@ import (
 	"fedms"
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/nn"
 	"fedms/internal/node"
+	"fedms/internal/randx"
 	"fedms/internal/transport"
 )
 
@@ -72,6 +74,13 @@ type options struct {
 	faultSeed     uint64
 	faultCrash    int
 	minModels     int
+
+	codec     string
+	downCodec string
+	// upSpec and downSpec are the parsed forms of codec and downCodec,
+	// resolved once in run() so every role shares the validation.
+	upSpec   compress.Spec
+	downSpec compress.Spec
 }
 
 func main() {
@@ -114,6 +123,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
 	fs.IntVar(&o.faultCrash, "fault-crash", 0, "crash this PS after serving N rounds (ps role; local role crashes the last PS)")
 	fs.IntVar(&o.minModels, "min-models", 0, "tolerant client: accept a round with >= this many global models (0 = strict, require all P)")
+	fs.StringVar(&o.codec, "codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed (e.g. ef+topk:0.1)")
+	fs.StringVar(&o.downCodec, "downlink-codec", "dense", "downlink codec spec (same grammar, no ef+; dense keeps the wire byte-identical to v1)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -173,6 +184,17 @@ func run(args []string) error {
 	if o.faultDrop < 0 || o.faultDrop > 1 || o.faultCorrupt < 0 || o.faultCorrupt > 1 ||
 		o.faultDup < 0 || o.faultDup > 1 || o.faultDelay < 0 || o.faultDelay > 1 {
 		return fmt.Errorf("fault rates must be in [0, 1]")
+	}
+	// Codec specs are validated here, before any socket opens, so a typo
+	// fails with a usage message instead of a half-started federation.
+	if o.upSpec, err = compress.ParseSpec(o.codec); err != nil {
+		return fmt.Errorf("-codec: %w", err)
+	}
+	if o.downSpec, err = compress.ParseSpec(o.downCodec); err != nil {
+		return fmt.Errorf("-downlink-codec: %w", err)
+	}
+	if o.downSpec.EF {
+		return fmt.Errorf("-downlink-codec %q: error feedback is per-stream state and cannot be used on the broadcast downlink; drop the ef+ prefix", o.downCodec)
 	}
 	switch o.role {
 	case "ps":
@@ -252,6 +274,33 @@ func (o *options) clientUploadAttack(id int) (attack.UploadAttack, error) {
 	return attack.ByUploadName(o.clientAtk)
 }
 
+// clientCodec builds client id's upload codec, or nil for dense. The
+// seed matches core.ClientCodecSeed so the distributed runtime and the
+// in-process engine compress identically round for round.
+func (o *options) clientCodec(id int) compress.Codec {
+	if o.upSpec.IsDense() {
+		return nil
+	}
+	c, err := o.upSpec.NewCodec(core.ClientCodecSeed(o.seed, id))
+	if err != nil {
+		// Unreachable: upSpec came from ParseSpec in run().
+		panic(err)
+	}
+	return c
+}
+
+// downlinkCodec builds PS id's downlink codec, or nil for dense.
+func (o *options) downlinkCodec(id int) compress.Codec {
+	if o.downSpec.IsDense() {
+		return nil
+	}
+	c, err := o.downSpec.NewCodec(randx.Derive(o.seed, fmt.Sprintf("downlink/ps%d", id)))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func (o *options) filter() fedms.Rule {
 	if o.beta < 0 {
 		return aggregate.Mean{}
@@ -303,6 +352,7 @@ func runPS(o *options) error {
 		Rounds:          o.rounds,
 		Attack:          atk,
 		ServerRule:      o.serverRule(),
+		DownlinkCodec:   o.downlinkCodec(o.id),
 		Seed:            o.seed,
 		Key:             o.authKey(),
 		Timeout:         o.psTimeout(),
@@ -338,20 +388,22 @@ func runClientRole(o *options) error {
 		return err
 	}
 	stats, err := node.RunClient(node.ClientConfig{
-		ID:           o.id,
-		Learner:      learner,
-		Servers:      servers,
-		Rounds:       o.rounds,
-		LocalSteps:   o.localSteps,
-		UploadAttack: ua,
-		Filter:       o.filter(),
-		Schedule:     nn.ConstantLR(o.lr),
-		Seed:         o.seed,
-		Timeout:      o.timeout,
-		EvalEvery:    5,
-		MinModels:    o.minModels,
-		Faults:       o.faultInjector(),
-		Redial:       o.minModels > 0,
+		ID:                    o.id,
+		Learner:               learner,
+		Servers:               servers,
+		Rounds:                o.rounds,
+		LocalSteps:            o.localSteps,
+		UploadAttack:          ua,
+		Filter:                o.filter(),
+		Schedule:              nn.ConstantLR(o.lr),
+		Codec:                 o.clientCodec(o.id),
+		AcceptEncodedDownlink: !o.downSpec.IsDense(),
+		Seed:                  o.seed,
+		Timeout:               o.timeout,
+		EvalEvery:             5,
+		MinModels:             o.minModels,
+		Faults:                o.faultInjector(),
+		Redial:                o.minModels > 0,
 	})
 	if err != nil {
 		return err
@@ -400,6 +452,7 @@ func runLocal(o *options) error {
 			Rounds:          o.rounds,
 			Attack:          byz[i],
 			ServerRule:      o.serverRule(),
+			DownlinkCodec:   o.downlinkCodec(i),
 			Seed:            o.seed,
 			Key:             o.authKey(),
 			Timeout:         o.psTimeout(),
@@ -451,22 +504,24 @@ func runLocal(o *options) error {
 		go func(id int, l core.Learner, ua attack.UploadAttack) {
 			defer wg.Done()
 			stats, err := node.RunClient(node.ClientConfig{
-				ID:           id,
-				Learner:      l,
-				Servers:      addrs,
-				Rounds:       o.rounds,
-				LocalSteps:   o.localSteps,
-				FullUpload:   o.fullUpload,
-				UploadAttack: ua,
-				Filter:       o.filter(),
-				Schedule:     nn.ConstantLR(o.lr),
-				Seed:         o.seed,
-				Key:          o.authKey(),
-				Timeout:      o.timeout,
-				EvalEvery:    5,
-				MinModels:    o.minModels,
-				Faults:       fi,
-				Redial:       o.minModels > 0,
+				ID:                    id,
+				Learner:               l,
+				Servers:               addrs,
+				Rounds:                o.rounds,
+				LocalSteps:            o.localSteps,
+				FullUpload:            o.fullUpload,
+				UploadAttack:          ua,
+				Filter:                o.filter(),
+				Schedule:              nn.ConstantLR(o.lr),
+				Codec:                 o.clientCodec(id),
+				AcceptEncodedDownlink: !o.downSpec.IsDense(),
+				Seed:                  o.seed,
+				Key:                   o.authKey(),
+				Timeout:               o.timeout,
+				EvalEvery:             5,
+				MinModels:             o.minModels,
+				Faults:                fi,
+				Redial:                o.minModels > 0,
 			})
 			if err != nil {
 				errCh <- err

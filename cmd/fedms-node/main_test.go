@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -132,5 +133,54 @@ func TestNodeFaultSeedDefaultsToSeed(t *testing.T) {
 	}
 	if clean.tolerant() {
 		t.Fatal("clean run must stay strict")
+	}
+}
+
+func TestNodeLocalCodecFederation(t *testing.T) {
+	err := run([]string{
+		"-role", "local", "-clients", "4", "-servers", "2",
+		"-codec", "ef+topk:0.2", "-downlink-codec", "q8",
+		"-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeRejectsBadCodecSpecs(t *testing.T) {
+	// Every spec error must surface at flag validation, before any
+	// listener binds or peer dials.
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown kind", []string{"-codec", "gzip"}, "-codec"},
+		{"ratio out of range", []string{"-codec", "topk:1.5"}, "-codec"},
+		{"bits out of range", []string{"-codec", "q0"}, "-codec"},
+		{"bad downlink", []string{"-downlink-codec", "randk:7"}, "-downlink-codec"},
+		{"ef downlink", []string{"-downlink-codec", "ef+topk:0.1"}, "error feedback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-role", "local", "-clients", "2", "-servers", "2", "-rounds", "1"}, tc.args...)
+			err := run(args)
+			if err == nil {
+				t.Fatalf("%v accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNodeCodecFlagsParsed(t *testing.T) {
+	o, err := parseFlags([]string{"-codec", "EF+TopK:0.1", "-downlink-codec", "q8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.codec != "EF+TopK:0.1" || o.downCodec != "q8" {
+		t.Fatalf("raw specs not captured: %+v", o)
 	}
 }

@@ -50,6 +50,8 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "experiment seed")
 		evalEvery  = fs.Int("eval", 5, "evaluate every N rounds")
 		upload     = fs.String("upload", "sparse", "upload strategy: sparse|full|round_robin")
+		codec      = fs.String("codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed")
+		downCodec  = fs.String("downlink-codec", "dense", "downlink codec spec (same grammar, no ef+)")
 		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
 		asPlot     = fs.Bool("plot", false, "render the accuracy curve as an ASCII chart at the end")
 	)
@@ -89,9 +91,11 @@ func run(args []string) error {
 			Noise:   *noise,
 			Dir:     *dataDir,
 		},
-		Model:     fedms.ModelSpec{Kind: fedms.ModelKind(*model)},
-		Seed:      *seed,
-		EvalEvery: *evalEvery,
+		Model:         fedms.ModelSpec{Kind: fedms.ModelKind(*model)},
+		Seed:          *seed,
+		EvalEvery:     *evalEvery,
+		UploadCodec:   *codec,
+		DownlinkCodec: *downCodec,
 	}
 
 	eng, err := fedms.BuildEngine(cfg)
@@ -99,9 +103,9 @@ func run(args []string) error {
 		return err
 	}
 	ecfg := eng.Config()
-	fmt.Printf("fed-ms: K=%d P=%d B=%d (byzantine ids %v) T=%d E=%d filter=%s attack=%s upload=%s dim=%d\n",
+	fmt.Printf("fed-ms: K=%d P=%d B=%d (byzantine ids %v) T=%d E=%d filter=%s attack=%s upload=%s codec=%s dim=%d\n",
 		ecfg.Clients, ecfg.Servers, ecfg.NumByzantine, ecfg.ByzantineIDs,
-		ecfg.Rounds, ecfg.LocalSteps, ecfg.Filter.Name(), ecfg.Attack.Name(), ecfg.Upload, eng.Dim())
+		ecfg.Rounds, ecfg.LocalSteps, ecfg.Filter.Name(), ecfg.Attack.Name(), ecfg.Upload, ecfg.UploadCodec, eng.Dim())
 
 	tbl := metrics.NewTable("")
 	accSeries := tbl.Add("test_acc")

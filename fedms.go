@@ -30,6 +30,7 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/data"
 	"fedms/internal/metrics"
@@ -252,6 +253,16 @@ type Config struct {
 	EvalClients int
 	// Workers bounds parallel client training.
 	Workers int
+
+	// UploadCodec is the codec spec applied to client uploads, e.g.
+	// "topk:0.05", "q8" or "ef+topk:0.1" (see compress.ParseSpec for the
+	// grammar). Empty or "dense" disables compression and keeps seeded
+	// trajectories bit-identical to the uncompressed engine.
+	UploadCodec string
+	// DownlinkCodec compresses the disseminated global models the same
+	// way. Error feedback is rejected here: a broadcast has no
+	// per-stream residual.
+	DownlinkCodec string
 }
 
 // Result collects a finished run.
@@ -359,6 +370,15 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		sched = nn.ConstantLR(cfg.LearningRate)
 	}
 
+	uploadSpec, err := compress.ParseSpec(cfg.UploadCodec)
+	if err != nil {
+		return nil, fmt.Errorf("fedms: UploadCodec: %w", err)
+	}
+	downlinkSpec, err := compress.ParseSpec(cfg.DownlinkCodec)
+	if err != nil {
+		return nil, fmt.Errorf("fedms: DownlinkCodec: %w", err)
+	}
+
 	return core.NewEngine(core.Config{
 		Clients:             cfg.Clients,
 		Servers:             cfg.Servers,
@@ -379,6 +399,8 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		EvalEvery:           cfg.EvalEvery,
 		EvalClients:         cfg.EvalClients,
 		Workers:             cfg.Workers,
+		UploadCodec:         uploadSpec,
+		DownlinkCodec:       downlinkSpec,
 	}, learners)
 }
 

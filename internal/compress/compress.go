@@ -24,10 +24,15 @@ import (
 type Compressed interface {
 	// Dense reconstructs the (lossy) dense vector.
 	Dense() []float64
+	// DenseInto reconstructs into dst (len(dst) must equal the dim).
+	DenseInto(dst []float64)
 	// WireBytes is the serialized size in bytes.
 	WireBytes() int
 	// Encode serializes the representation.
 	Encode() []byte
+	// AppendEncode serializes onto dst and returns the extended buffer,
+	// so steady-state encoders can reuse one buffer across frames.
+	AppendEncode(dst []byte) []byte
 }
 
 // Compressor maps dense vectors to compressed representations.
@@ -49,10 +54,18 @@ type Sparse struct {
 // Dense implements Compressed.
 func (s *Sparse) Dense() []float64 {
 	out := make([]float64, s.Dim)
-	for i, idx := range s.Indices {
-		out[idx] = s.Values[i]
-	}
+	s.DenseInto(out)
 	return out
+}
+
+// DenseInto implements Compressed.
+func (s *Sparse) DenseInto(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, idx := range s.Indices {
+		dst[idx] = s.Values[i]
+	}
 }
 
 // WireBytes implements Compressed: 8 bytes header + 4 per index + 8 per
@@ -60,39 +73,42 @@ func (s *Sparse) Dense() []float64 {
 func (s *Sparse) WireBytes() int { return 8 + len(s.Indices)*12 }
 
 // Encode implements Compressed.
-func (s *Sparse) Encode() []byte {
-	buf := make([]byte, 8+len(s.Indices)*12)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(s.Dim))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(s.Indices)))
-	off := 8
+func (s *Sparse) Encode() []byte { return s.AppendEncode(nil) }
+
+// AppendEncode implements Compressed.
+func (s *Sparse) AppendEncode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Indices)))
 	for _, idx := range s.Indices {
-		binary.LittleEndian.PutUint32(buf[off:], idx)
-		off += 4
+		dst = binary.LittleEndian.AppendUint32(dst, idx)
 	}
 	for _, v := range s.Values {
-		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-		off += 8
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return buf
+	return dst
 }
 
-// DecodeSparse parses a Sparse encoding.
+// DecodeSparse parses a Sparse encoding. Indices must be strictly
+// increasing and in range: a Byzantine or corrupted payload with
+// duplicate or out-of-order indices must not silently double-write
+// coordinates, so it is rejected here at the wire boundary.
 func DecodeSparse(buf []byte) (*Sparse, error) {
-	if len(buf) < 8 {
-		return nil, errors.New("compress: sparse encoding too short")
-	}
-	dim := int(binary.LittleEndian.Uint32(buf[0:]))
-	n := int(binary.LittleEndian.Uint32(buf[4:]))
-	if len(buf) != 8+n*12 {
-		return nil, fmt.Errorf("compress: sparse encoding length %d, want %d", len(buf), 8+n*12)
+	dim, n, err := sparseHeader(buf)
+	if err != nil {
+		return nil, err
 	}
 	s := &Sparse{Dim: dim, Indices: make([]uint32, n), Values: make([]float64, n)}
 	off := 8
+	prev := -1
 	for i := range s.Indices {
 		idx := binary.LittleEndian.Uint32(buf[off:])
-		if int(idx) >= dim {
-			return nil, fmt.Errorf("compress: index %d out of range %d", idx, dim)
+		if int(idx) <= prev {
+			return nil, fmt.Errorf("%w: sparse index %d after %d (must be strictly increasing)", ErrPayload, idx, prev)
 		}
+		if int(idx) >= dim {
+			return nil, fmt.Errorf("%w: sparse index %d out of range %d", ErrPayload, idx, dim)
+		}
+		prev = int(idx)
 		s.Indices[i] = idx
 		off += 4
 	}
@@ -207,17 +223,24 @@ type Quantized struct {
 // Dense implements Compressed.
 func (q *Quantized) Dense() []float64 {
 	out := make([]float64, q.Dim)
+	q.denseInto(out)
+	return out
+}
+
+// DenseInto implements Compressed.
+func (q *Quantized) DenseInto(dst []float64) { q.denseInto(dst) }
+
+func (q *Quantized) denseInto(dst []float64) {
 	levels := (uint64(1) << q.Bits) - 1
 	span := q.Max - q.Min
 	for i := 0; i < q.Dim; i++ {
 		code := q.code(i)
 		if levels == 0 || span == 0 {
-			out[i] = q.Min
+			dst[i] = q.Min
 			continue
 		}
-		out[i] = q.Min + span*float64(code)/float64(levels)
+		dst[i] = q.Min + span*float64(code)/float64(levels)
 	}
-	return out
 }
 
 func (q *Quantized) code(i int) uint64 {
@@ -248,14 +271,15 @@ func (q *Quantized) setCode(i int, code uint64) {
 func (q *Quantized) WireBytes() int { return 24 + len(q.Codes) }
 
 // Encode implements Compressed.
-func (q *Quantized) Encode() []byte {
-	buf := make([]byte, 24+len(q.Codes))
-	binary.LittleEndian.PutUint32(buf[0:], uint32(q.Dim))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(q.Bits))
-	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(q.Min))
-	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(q.Max))
-	copy(buf[24:], q.Codes)
-	return buf
+func (q *Quantized) Encode() []byte { return q.AppendEncode(nil) }
+
+// AppendEncode implements Compressed.
+func (q *Quantized) AppendEncode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Bits))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.Min))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.Max))
+	return append(dst, q.Codes...)
 }
 
 // DecodeQuantized parses a Quantized encoding.

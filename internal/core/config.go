@@ -7,6 +7,7 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/nn"
 	"fedms/internal/randx"
 )
@@ -116,6 +117,20 @@ type Config struct {
 	// receives an equal slice of the pool) all share this knob. Results
 	// are bit-identical for any value.
 	Workers int
+	// UploadCodec compresses client uploads through the shared codec
+	// abstraction (internal/compress): every upload is encoded and
+	// decoded before server aggregation, modeling exactly the lossy
+	// channel the distributed runtime puts on the wire. Per-client codec
+	// state (error feedback) persists across rounds, seeded via
+	// ClientCodecSeed for engine/node parity. The zero value is dense:
+	// no roundtrip runs and trajectories are bit-identical to the
+	// pre-codec engine.
+	UploadCodec compress.Spec
+	// DownlinkCodec compresses the disseminated global models the same
+	// way. Dense by default so the trimmed-mean filter sees exact
+	// aggregates; error feedback is rejected (a broadcast has no
+	// per-stream residual).
+	DownlinkCodec compress.Spec
 	// Logger, when non-nil, receives one structured record per round
 	// (round index, losses, accuracy, communication, spread) — wire it
 	// to log/slog for production observability.
@@ -216,6 +231,15 @@ func (c Config) Validate() (Config, error) {
 		perm := randx.Perm(randx.Split(c.Seed, "byzantine-client-ids"), c.Clients)
 		c.ByzantineClientIDs = append([]int(nil), perm[:c.NumByzantineClients]...)
 		sort.Ints(c.ByzantineClientIDs)
+	}
+	if err := c.UploadCodec.Validate(); err != nil {
+		return c, fmt.Errorf("core: UploadCodec: %w", err)
+	}
+	if err := c.DownlinkCodec.Validate(); err != nil {
+		return c, fmt.Errorf("core: DownlinkCodec: %w", err)
+	}
+	if c.DownlinkCodec.EF {
+		return c, fmt.Errorf("core: DownlinkCodec %q: error feedback is per-stream state and cannot be used on the broadcast downlink", c.DownlinkCodec)
 	}
 	if c.EvalEvery == 0 {
 		c.EvalEvery = 1

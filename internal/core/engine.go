@@ -10,6 +10,7 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/randx"
 	"fedms/internal/tensor"
 )
@@ -30,6 +31,13 @@ type RoundStats struct {
 	UploadFloats int
 	// DownloadFloats counts float64 values disseminated to clients.
 	DownloadFloats int
+	// UploadBytes counts the wire bytes of the round's uploads: 8 per
+	// float when dense, the encoded payload size under an UploadCodec —
+	// the paper's K·d vs K·P·d measure in bytes.
+	UploadBytes int
+	// DownloadBytes counts the wire bytes of the round's disseminated
+	// models, analogously.
+	DownloadBytes int
 	// ModelSpread is the max L2 distance between any client's filtered
 	// model and the benign-server mean — a diagnostic of how far the
 	// filter let Byzantine influence leak.
@@ -51,6 +59,13 @@ type Engine struct {
 	// lastAgg[i] is server i's most recent aggregate, reused when the
 	// sparse upload assigns it no clients in a round.
 	lastAgg [][]float64
+
+	// codecs[k] is client k's upload codec instance (nil slice when the
+	// upload codec is dense). Stateful: error-feedback residuals persist
+	// across rounds, exactly like the distributed clients'.
+	codecs []compress.Codec
+	// encBuf is scratch for the upload-codec roundtrip.
+	encBuf []byte
 
 	round int
 }
@@ -102,13 +117,32 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 	for i := range lastAgg {
 		lastAgg[i] = append([]float64(nil), w0...)
 	}
+	var codecs []compress.Codec
+	if !cfg.UploadCodec.IsDense() {
+		codecs = make([]compress.Codec, cfg.Clients)
+		for k := range codecs {
+			c, err := cfg.UploadCodec.NewCodec(ClientCodecSeed(cfg.Seed, k))
+			if err != nil {
+				return nil, fmt.Errorf("core: UploadCodec: %w", err)
+			}
+			codecs[k] = c
+		}
+	}
 	return &Engine{
 		cfg:      cfg,
 		learners: learners,
 		dim:      dim,
 		history:  make([][][]float64, cfg.Servers),
 		lastAgg:  lastAgg,
+		codecs:   codecs,
 	}, nil
+}
+
+// ClientCodecSeed derives the seed for client k's upload codec. The
+// engine and the distributed runtime both use it, so stochastic codecs
+// sample identical index sets in either runtime.
+func ClientCodecSeed(seed uint64, client int) uint64 {
+	return randx.Derive(seed, fmt.Sprintf("codec/c%d", client))
 }
 
 // Config returns the engine's validated configuration.
@@ -178,6 +212,27 @@ func (e *Engine) RunRound() RoundStats {
 		uploads[k] = e.cfg.ClientAttack.TamperUpload(ctx)
 	}
 
+	// The upload codec models the lossy wire: encode once per client per
+	// round (exactly like a distributed client, so error-feedback state
+	// advances identically) and aggregate the decoded reconstruction.
+	uploadBytes := make([]int, e.cfg.Clients)
+	if e.codecs != nil {
+		for _, k := range active {
+			var enc compress.Encoding
+			enc, e.encBuf = e.codecs[k].AppendEncode(e.encBuf[:0], uploads[k])
+			decoded := make([]float64, e.dim)
+			if err := compress.DecodePayloadInto(decoded, enc, e.encBuf); err != nil {
+				panic(fmt.Sprintf("core: upload codec self-decode: %v", err))
+			}
+			uploads[k] = decoded
+			uploadBytes[k] = len(e.encBuf)
+		}
+	} else {
+		for _, k := range active {
+			uploadBytes[k] = 8 * e.dim
+		}
+	}
+
 	// ---- Model aggregation stage (lines 3-4, 11) ----
 	assign := e.uploadAssignment(t, active)
 	aggs := make([][]float64, e.cfg.Servers)
@@ -197,6 +252,9 @@ func (e *Engine) RunRound() RoundStats {
 		}
 		e.lastAgg[i] = aggs[i]
 		st.UploadFloats += len(members) * e.dim
+		for _, k := range members {
+			st.UploadBytes += uploadBytes[k]
+		}
 	}
 
 	// ---- Model dissemination + filter stage (lines 5, 12-13) ----
@@ -208,9 +266,27 @@ func (e *Engine) RunRound() RoundStats {
 	// stage runs on the same bounded pool as local training. Per-client
 	// spreads are reduced afterwards: max is order-insensitive, keeping
 	// the round deterministic for any worker count.
+	downlinkCodec := !e.cfg.DownlinkCodec.IsDense()
 	spreads := make([]float64, e.cfg.Clients)
+	downBytes := make([]int, e.cfg.Clients)
 	e.forEachClient(e.cfg.Clients, func(k int) {
 		received := disseminated(k)
+		if downlinkCodec {
+			// The downlink codec is stateless (EF is rejected by
+			// Validate), so the per-client roundtrip is safe on the
+			// concurrent pool and matches the distributed PS encoding
+			// the same vector for this client.
+			for i := range received {
+				v, n, err := e.cfg.DownlinkCodec.EncodeDecode(received[i])
+				if err != nil {
+					panic(fmt.Sprintf("core: downlink codec: %v", err))
+				}
+				received[i] = v
+				downBytes[k] += n
+			}
+		} else {
+			downBytes[k] = 8 * e.cfg.Servers * e.dim
+		}
 		filtered := e.cfg.Filter.Aggregate(received)
 		e.learners[k].SetParams(filtered)
 		spreads[k] = tensor.VecDist2(filtered, benignMean)
@@ -219,6 +295,9 @@ func (e *Engine) RunRound() RoundStats {
 		if d > st.ModelSpread {
 			st.ModelSpread = d
 		}
+	}
+	for _, b := range downBytes {
+		st.DownloadBytes += b
 	}
 
 	// Append honest aggregates to the adaptive-adversary history.

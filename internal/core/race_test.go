@@ -5,6 +5,7 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 )
 
 // TestWorkerPoolDeterministic pins down the trainClients worker pool:
@@ -49,5 +50,72 @@ func TestWorkerPoolDeterministic(t *testing.T) {
 					k, i, serialParams[k][i], parallelParams[k][i])
 			}
 		}
+	}
+}
+
+// TestCodecPathsSeedReproducible: the full codec pipeline — stateful
+// ef+ uplink codecs, the randomized randk support, the quantized
+// downlink roundtrip — must be a pure function of the config seed, for
+// both the serial and the parallel training pool. Run under -race this
+// also checks the codecs' scratch buffers never leak across the pool's
+// goroutines.
+func TestCodecPathsSeedReproducible(t *testing.T) {
+	for _, tc := range []struct{ up, down string }{
+		{"ef+topk:0.2", "dense"},
+		{"randk:0.25", "q8"},
+		{"ef+q6", "topk:0.5"},
+	} {
+		tc := tc
+		t.Run(tc.up+"/"+tc.down, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) ([]RoundStats, [][]float64) {
+				learners, _ := testFixture(t, 6, 78)
+				cfg := baseConfig(6, 3, 1, attack.Noise{Sigma: 0.5}, aggregate.TrimmedMean{Beta: 1.0 / 3.0})
+				cfg.Rounds = 6
+				cfg.EvalEvery = -1
+				cfg.Workers = workers
+				var err error
+				if cfg.UploadCodec, err = compress.ParseSpec(tc.up); err != nil {
+					t.Fatal(err)
+				}
+				if cfg.DownlinkCodec, err = compress.ParseSpec(tc.down); err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewEngine(cfg, learners)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats := eng.Run()
+				params := make([][]float64, len(learners))
+				for i, l := range learners {
+					params[i] = l.Params()
+				}
+				return stats, params
+			}
+
+			aStats, aParams := run(1)
+			bStats, bParams := run(8)
+			for r := range aStats {
+				if aStats[r].TrainLoss != bStats[r].TrainLoss {
+					t.Fatalf("round %d: losses diverge across reruns", r)
+				}
+				if aStats[r].UploadBytes != bStats[r].UploadBytes ||
+					aStats[r].DownloadBytes != bStats[r].DownloadBytes {
+					t.Fatalf("round %d: byte accounting diverges: %d/%d vs %d/%d", r,
+						aStats[r].UploadBytes, aStats[r].DownloadBytes,
+						bStats[r].UploadBytes, bStats[r].DownloadBytes)
+				}
+				if aStats[r].UploadBytes == 0 || aStats[r].DownloadBytes == 0 {
+					t.Fatalf("round %d: codec run reported zero wire bytes", r)
+				}
+			}
+			for k := range aParams {
+				for i := range aParams[k] {
+					if aParams[k][i] != bParams[k][i] {
+						t.Fatalf("client %d param %d diverges across reruns", k, i)
+					}
+				}
+			}
+		})
 	}
 }

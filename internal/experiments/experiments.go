@@ -366,6 +366,73 @@ func CommCost(o Options) (CommCostResult, error) {
 	}, nil
 }
 
+// CodecCommCostRow is one codec's measured traffic and accuracy.
+type CodecCommCostRow struct {
+	Codec string
+	// UploadBytes and DownloadBytes are mean per-round wire traffic
+	// summed over all clients (the paper's K·d and K·P·d measures,
+	// in bytes after compression).
+	UploadBytes   int
+	DownloadBytes int
+	FinalAccuracy float64
+	// Reduction is dense upload bytes over this codec's upload bytes.
+	Reduction float64
+}
+
+// CodecCommCost extends the §IV-A communication accounting from message
+// counts to bytes: the same training run is repeated under each upload
+// codec spec, recording mean per-round upload traffic and the final
+// accuracy the compressed run reaches. The first spec ("dense" by
+// default) is the reduction baseline.
+func CodecCommCost(codecs []string, o Options) ([]CodecCommCostRow, error) {
+	o = o.withDefaults()
+	if len(codecs) == 0 {
+		codecs = []string{"dense", "q8", "topk:0.1", "ef+topk:0.1"}
+	}
+	rows := make([]CodecCommCostRow, 0, len(codecs))
+	for _, spec := range codecs {
+		cfg := baseConfig(o, 10)
+		cfg.NumByzantine = o.Servers / 5
+		cfg.Attack = attack.Noise{}
+		cfg.TrimBeta = 0.2
+		cfg.UploadCodec = spec
+		res, err := fedms.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: codec %q: %w", spec, err)
+		}
+		var up, down int
+		for _, st := range res.Stats {
+			up += st.UploadBytes
+			down += st.DownloadBytes
+		}
+		rows = append(rows, CodecCommCostRow{
+			Codec:         spec,
+			UploadBytes:   up / len(res.Stats),
+			DownloadBytes: down / len(res.Stats),
+			FinalAccuracy: res.FinalAccuracy(),
+		})
+	}
+	for i := range rows {
+		rows[i].Reduction = float64(rows[0].UploadBytes) / float64(rows[i].UploadBytes)
+	}
+	return rows, nil
+}
+
+// WriteCodecCommCost renders the codec traffic table as text.
+func WriteCodecCommCost(w io.Writer, rows []CodecCommCostRow) error {
+	if _, err := fmt.Fprintf(w, "%-14s  %14s  %14s  %9s  %9s\n",
+		"codec", "upload_B/round", "downlink_B/rnd", "reduction", "final_acc"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-14s  %14d  %14d  %8.1fx  %9.4f\n",
+			r.Codec, r.UploadBytes, r.DownloadBytes, r.Reduction, r.FinalAccuracy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FilterAblation compares the Fed-MS trimmed-mean filter against the
 // median, Krum and geometric-median baselines under the Random attack —
 // the design-choice ablation called out in DESIGN.md.

@@ -2,6 +2,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -9,8 +10,10 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/nn"
+	"fedms/internal/randx"
 	"fedms/internal/transport"
 )
 
@@ -30,6 +33,10 @@ type chaosOpts struct {
 	// crash.
 	crashAfter map[int]int
 	byz        map[int]attack.Attack
+	// upCodec/downCodec put codec frames on the faulted links; the zero
+	// Spec keeps the wire dense.
+	upCodec   compress.Spec
+	downCodec compress.Spec
 
 	psTimeout     time.Duration
 	clientTimeout time.Duration
@@ -54,6 +61,14 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 	servers := make([]*PS, o.p)
 	addrs := make([]string, o.p)
 	for i := 0; i < o.p; i++ {
+		var dc compress.Codec
+		if !o.downCodec.IsDense() {
+			var err error
+			dc, err = o.downCodec.NewCodec(randx.Derive(o.seed, fmt.Sprintf("downlink/ps%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
 		ps, err := NewPS(PSConfig{
 			ID:              i,
 			ListenAddr:      "127.0.0.1:0",
@@ -65,6 +80,7 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 			Tolerant:        o.psTolerant,
 			Faults:          pfi,
 			CrashAfterRound: o.crashAfter[i],
+			DownlinkCodec:   dc,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -95,20 +111,31 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 					o.onRound(id, round, received, filtered)
 				}
 			}
+			var uc compress.Codec
+			if !o.upCodec.IsDense() {
+				var err error
+				uc, err = o.upCodec.NewCodec(core.ClientCodecSeed(o.seed, id))
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
 			st, err := RunClient(ClientConfig{
-				ID:         id,
-				Learner:    l,
-				Servers:    addrs,
-				Rounds:     o.rounds,
-				LocalSteps: 2,
-				Filter:     o.filter,
-				Schedule:   nn.ConstantLR(0.3),
-				Seed:       o.seed,
-				Timeout:    o.clientTimeout,
-				MinModels:  o.minModels,
-				Redial:     o.redial,
-				Faults:     cfi,
-				OnRound:    hook,
+				ID:                    id,
+				Learner:               l,
+				Servers:               addrs,
+				Rounds:                o.rounds,
+				LocalSteps:            2,
+				Filter:                o.filter,
+				Schedule:              nn.ConstantLR(0.3),
+				Seed:                  o.seed,
+				Timeout:               o.clientTimeout,
+				MinModels:             o.minModels,
+				Redial:                o.redial,
+				Faults:                cfi,
+				OnRound:               hook,
+				Codec:                 uc,
+				AcceptEncodedDownlink: !o.downCodec.IsDense(),
 			})
 			if err != nil {
 				errCh <- err
@@ -427,4 +454,119 @@ func TestChaosCrashRestart(t *testing.T) {
 		}
 	}
 
+}
+
+// TestChaosCodecUploadFaults puts codec frames on faulted uplinks: a
+// corrupted or truncated v2 payload must degrade exactly like a dropped
+// dense frame — counted missed, connection kept — and the seeded rerun
+// must reproduce the final model bit for bit.
+func TestChaosCodecUploadFaults(t *testing.T) {
+	// Same seeds as the dense TestChaosUploadFaultScenarios: those fault
+	// schedules are known to keep every miss attributable to an injected
+	// fault (not to barrier-deadline jitter) even under -race, so the
+	// rerun assertion stays meaningful with codec frames on the wire.
+	base := chaosOpts{
+		k: 4, p: 2, rounds: 5, seed: 101,
+		filter:        aggregate.TrimmedMean{Beta: 0.2},
+		psTolerant:    true,
+		psTimeout:     2 * time.Second,
+		clientTimeout: 8 * time.Second,
+		upCodec:       mustSpec(t, "q8"),
+		downCodec:     mustSpec(t, "topk:0.5"),
+	}
+	scenarios := []struct {
+		name   string
+		faults transport.FaultConfig
+	}{
+		{"corrupt", transport.FaultConfig{Seed: 7, Corrupt: 0.25}},
+		{"truncate", transport.FaultConfig{Seed: 7, Truncate: 0.2}},
+		{"mixed", transport.FaultConfig{Seed: 7, Drop: 0.1, Corrupt: 0.1, Duplicate: 0.1}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			o := base
+			o.clientFaults = sc.faults
+
+			params, stats, clientStats := runChaos(t, o)
+			for _, st := range clientStats {
+				if len(st) != o.rounds {
+					t.Fatalf("client completed %d rounds, want %d", len(st), o.rounds)
+				}
+			}
+			// Downlink is clean, so every client ends on the same model.
+			for i := 1; i < o.k; i++ {
+				assertSameParams(t, [][]float64{params[0]}, [][]float64{params[i]}, "client agreement")
+			}
+			missed := 0
+			for _, st := range stats {
+				missed += st.UploadsMissed
+				if st.RoundsServed != o.rounds {
+					t.Fatalf("PS served %d rounds, want %d", st.RoundsServed, o.rounds)
+				}
+				if st.ClientsLost != 0 {
+					t.Fatalf("PS condemned %d connections for recoverable codec-frame faults", st.ClientsLost)
+				}
+			}
+			if missed == 0 {
+				t.Fatal("no uploads missed — fault schedule never hit a codec frame")
+			}
+
+			again, _, _ := runChaos(t, o)
+			assertSameParams(t, params, again, "seeded rerun")
+		})
+	}
+}
+
+// TestChaosCodecDownlinkCorrupt corrupts encoded downlink frames: a
+// client that cannot decode a global model must degrade that round to
+// the survivors (like a drop) without condemning the healthy connection
+// or stalling the federation. No seeded-rerun assertion here: a lost
+// downlink frame stalls its client for the full recv window (the PS
+// only broadcasts again next round), which delays the next broadcast
+// for every peer by the same amount — whether their reads then beat
+// their own deadlines is a property of scheduler load, not of the
+// fault schedule. The upload-direction scenarios pin codec-chaos
+// determinism; this one pins the degradation semantics.
+func TestChaosCodecDownlinkCorrupt(t *testing.T) {
+	// Mean instead of TrimmedMean: a round can degrade all the way to
+	// one surviving model, which no nonzero trim could absorb.
+	o := chaosOpts{
+		k: 3, p: 3, rounds: 5, seed: 107,
+		filter:        aggregate.Mean{},
+		minModels:     1,
+		psTolerant:    true,
+		psFaults:      transport.FaultConfig{Seed: 13, Corrupt: 0.2},
+		psTimeout:     2 * time.Second,
+		clientTimeout: 8 * time.Second,
+		upCodec:       mustSpec(t, "q8"),
+		downCodec:     mustSpec(t, "q8"),
+	}
+	_, stats, clientStats := runChaos(t, o)
+	degraded := 0
+	for id, st := range clientStats {
+		if len(st) != o.rounds {
+			t.Fatalf("client %d completed %d rounds, want %d", id, len(st), o.rounds)
+		}
+		for _, rs := range st {
+			if rs.Degraded {
+				degraded++
+				if rs.ModelsReceived >= o.p || rs.ModelsReceived < o.minModels {
+					t.Fatalf("client %d round %d: degraded to %d models", id, rs.Round, rs.ModelsReceived)
+				}
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded rounds — downlink fault schedule never fired")
+	}
+	for _, st := range stats {
+		if st.RoundsServed != o.rounds {
+			t.Fatalf("PS served %d rounds, want %d", st.RoundsServed, o.rounds)
+		}
+		if st.ClientsLost != 0 {
+			t.Fatalf("PS condemned %d connections for corrupt downlink frames", st.ClientsLost)
+		}
+	}
 }

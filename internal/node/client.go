@@ -8,6 +8,7 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/nn"
 	"fedms/internal/transport"
@@ -74,6 +75,17 @@ type ClientConfig struct {
 	// result. The chaos tests use it to check the filter output against
 	// benign coordinate bounds; callers must not mutate the arguments.
 	OnRound func(round int, received map[int][]float64, filtered []float64)
+	// Codec compresses this client's uploads into v2 codec frames (nil
+	// or the dense codec keeps the pre-codec v1 dense frames). Stateful
+	// codecs — error feedback — keep their residual in the instance, so
+	// it persists across the client's rounds; instances must not be
+	// shared between clients.
+	Codec compress.Codec
+	// AcceptEncodedDownlink advertises v2 decoding support in the hello
+	// handshake, letting a PS configured with a downlink codec compress
+	// this client's global-model frames. Off by default: the downlink
+	// stays dense and the trimmed-mean filter sees exact aggregates.
+	AcceptEncodedDownlink bool
 }
 
 // ClientRoundStats records one round as seen by a client node.
@@ -92,6 +104,11 @@ type ClientRoundStats struct {
 	// Degraded reports that fewer than P models arrived and the filter
 	// fell back to trimming over the survivors.
 	Degraded bool
+	// UploadBytes counts the model payload bytes this client put on the
+	// wire this round (dense models count 8 bytes per coordinate).
+	UploadBytes int
+	// DownloadBytes counts the model payload bytes received this round.
+	DownloadBytes int
 }
 
 // dialPS connects to server i with capped exponential backoff, performs
@@ -119,6 +136,11 @@ func dialPS(cfg *ClientConfig, i int, addr string, hello []float64) (*transport.
 			Flag:   uint32(cfg.ID),
 			Vec:    hello,
 		}
+		if cfg.AcceptEncodedDownlink {
+			// Version negotiation: only clients that advertise v2 ever
+			// receive codec-encoded global models.
+			msg.Text = transport.HelloCodecV2
+		}
 		if err := conn.Send(msg); err != nil {
 			_ = conn.Close()
 			lastErr = err
@@ -135,6 +157,7 @@ func dialPS(cfg *ClientConfig, i int, addr string, hello []float64) (*transport.
 // recvResult is one PS's contribution to the dissemination barrier.
 type recvResult struct {
 	vec     []float64
+	bytes   int // model payload bytes on the wire
 	missing bool
 	dead    bool
 	err     error
@@ -156,7 +179,8 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 		}
 		if err != nil {
 			if tolerant {
-				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) {
+				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) ||
+					errors.Is(err, transport.ErrBadPayload) {
 					continue
 				}
 				if isTimeout(err) {
@@ -182,7 +206,16 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 			return recvResult{dead: true,
 				err: fmt.Errorf("unexpected %s (round %d) from PS %d", m.Type, m.Round, psID)}
 		}
-		return recvResult{vec: m.Vec}
+		vec, err := m.ModelVec()
+		if err != nil {
+			// A checksummed frame with a malformed codec payload can only
+			// come from a Byzantine PS; treat it like a corrupt frame.
+			if tolerant {
+				continue
+			}
+			return recvResult{dead: true, err: err}
+		}
+		return recvResult{vec: vec, bytes: m.ModelWireBytes()}
 	}
 	return recvResult{missing: true, err: errors.New("too many unreadable frames")}
 }
@@ -230,6 +263,13 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 		cfg.DialBackoff = 50 * time.Millisecond
 	}
 	tolerant := cfg.MinModels > 0
+	if cfg.Codec != nil && cfg.Codec.Name() == "dense" {
+		// The identity codec is the nil fast path: uploads stay v1 dense
+		// frames, bit-identical to the pre-codec wire.
+		cfg.Codec = nil
+	}
+	// encBuf is reused across rounds for the encoded upload payload.
+	var encBuf []byte
 
 	conns := make([]*transport.Conn, p)
 	// pendings[i] parks a future-round model read early from PS i (see
@@ -307,7 +347,13 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 		}
 
 		// Model aggregation stage: one real upload (sparse) or P (full);
-		// empty skip frames complete the PS-side barrier.
+		// empty skip frames complete the PS-side barrier. The codec runs
+		// once per round — full upload sends the same payload to every
+		// PS, so error-feedback state advances exactly once either way.
+		var uploadEnc compress.Encoding
+		if cfg.Codec != nil {
+			uploadEnc, encBuf = cfg.Codec.AppendEncode(encBuf[:0], params)
+		}
 		choice := -1
 		if !cfg.FullUpload {
 			choice = core.SparseUploadChoice(cfg.Seed, round, cfg.ID, p)
@@ -324,13 +370,21 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			}
 			if cfg.FullUpload || i == choice {
 				msg.Flag = 1
-				msg.Vec = params
+				if cfg.Codec != nil {
+					msg.Enc, msg.Payload = uploadEnc, encBuf
+				} else {
+					msg.Vec = params
+				}
 			}
 			if err := conn.Send(msg); err != nil {
 				if !tolerant {
 					return stats, fmt.Errorf("node: client %d round %d upload to PS %d: %w", cfg.ID, round, i, err)
 				}
 				markDead(i)
+				continue
+			}
+			if msg.Flag == 1 {
+				st.UploadBytes += msg.ModelWireBytes()
 			}
 		}
 
@@ -369,6 +423,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				// Keep the connection: the frame was lost, not the peer.
 			default:
 				received[i] = r.vec
+				st.DownloadBytes += r.bytes
 			}
 		}
 

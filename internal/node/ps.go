@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/transport"
 )
@@ -97,6 +99,12 @@ type PSConfig struct {
 	// that many rounds. The deterministic crash hook of the chaos
 	// tests; Serve returns ErrCrashed.
 	CrashAfterRound int
+	// DownlinkCodec, when non-nil, compresses global-model frames to
+	// clients that advertised v2 support in their hello; everyone else
+	// keeps dense v1 frames. Error-feedback codecs are rejected by NewPS
+	// — a broadcast shares one codec across clients, so a per-stream
+	// residual would be wrong for all of them.
+	DownlinkCodec compress.Codec
 }
 
 // PS is a running parameter-server node.
@@ -110,6 +118,9 @@ type PS struct {
 	lastAgg  []float64
 	history  [][]float64
 	stats    PSStats
+	// v2ok[id] records whether client id's hello advertised v2 codec
+	// frames; only those clients may receive an encoded downlink.
+	v2ok []bool
 }
 
 // PSStats reports a server's lifetime counters.
@@ -128,6 +139,11 @@ type PSStats struct {
 	// FloatsIn and FloatsOut count model elements received/sent.
 	FloatsIn  int
 	FloatsOut int
+	// BytesIn and BytesOut count model payload bytes on the wire (dense
+	// models count 8 bytes per element, codec payloads their encoded
+	// size).
+	BytesIn  int
+	BytesOut int
 }
 
 // NewPS binds the listener and returns the node; call Serve to run the
@@ -147,6 +163,13 @@ func NewPS(cfg PSConfig) (*PS, error) {
 	}
 	if cfg.ServerRule == nil {
 		cfg.ServerRule = aggregate.Mean{}
+	}
+	if cfg.DownlinkCodec != nil {
+		if cfg.DownlinkCodec.Name() == "dense" {
+			cfg.DownlinkCodec = nil
+		} else if strings.HasPrefix(cfg.DownlinkCodec.Name(), "ef+") {
+			return nil, fmt.Errorf("node: PS %d: error feedback is per-stream state and cannot be used on the broadcast downlink (codec %q)", cfg.ID, cfg.DownlinkCodec.Name())
+		}
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
@@ -202,6 +225,7 @@ func (p *PS) Serve() error {
 	// pending[id] parks a future-round upload read early from client id
 	// (see recvUpload); it never outlives its connection.
 	pending := make([]*transport.Message, p.cfg.Clients)
+	p.v2ok = make([]bool, p.cfg.Clients)
 	defer func() {
 		for _, c := range conns {
 			if c != nil {
@@ -238,6 +262,7 @@ func (p *PS) Serve() error {
 		if p.cfg.Faults != nil {
 			conn.SetFaults(p.cfg.Faults.Link(fmt.Sprintf("ps%d->c%d", p.cfg.ID, id)))
 		}
+		p.v2ok[id] = hello.Text == transport.HelloCodecV2
 		conns[id] = conn
 		p.mu.Lock()
 		p.accepted = append(p.accepted, conn)
@@ -270,6 +295,7 @@ func (p *PS) Serve() error {
 type upload struct {
 	client int
 	vec    []float64
+	bytes  int // model payload bytes on the wire
 	// missed marks a slot whose frame never arrived (timeout or too
 	// much corruption); the connection stays live.
 	missed bool
@@ -294,7 +320,8 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 		}
 		if err != nil {
 			if p.cfg.Tolerant {
-				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) {
+				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) ||
+					errors.Is(err, transport.ErrBadPayload) {
 					// The stream is still frame-aligned: skip the
 					// mangled frame and keep reading.
 					continue
@@ -323,7 +350,19 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 				err: fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)}
 		}
 		if m.Flag == 1 {
-			return upload{client: id, vec: m.Vec}
+			vec, err := m.ModelVec()
+			if err != nil {
+				// The frame checksummed, so a malformed codec payload is
+				// a sender lying on the wire, not line noise. Tolerant
+				// mode degrades it like corruption: skip and keep
+				// reading (the barrier's maxBadFrames bound still
+				// applies); strict mode condemns the connection.
+				if p.cfg.Tolerant {
+					continue
+				}
+				return upload{client: id, dead: true, err: err}
+			}
+			return upload{client: id, vec: vec, bytes: m.ModelWireBytes()}
 		}
 		return upload{client: id}
 	}
@@ -348,7 +387,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 
 	var members []int
-	var missed, lost int
+	var missed, lost, bytesIn int
 	vecs := make(map[int][]float64)
 	var firstErr error
 	waiting := make([]bool, len(conns))
@@ -392,6 +431,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 		case u.vec != nil:
 			members = append(members, u.client)
 			vecs[u.client] = u.vec
+			bytesIn += u.bytes
 		}
 	}
 	if firstErr != nil {
@@ -424,6 +464,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.stats.UploadsReceived += len(members)
 	p.stats.UploadsMissed += missed
 	p.stats.ClientsLost += lost
+	p.stats.BytesIn += bytesIn
 	for _, k := range members {
 		p.stats.FloatsIn += len(vecs[k])
 	}
@@ -451,7 +492,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 	var wg sync.WaitGroup
 	errs := make(chan sendErr, len(conns))
-	sent := 0
+	sent, bytesOut := 0, 0
 	for id, conn := range conns {
 		if conn == nil {
 			continue
@@ -472,26 +513,35 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			}
 			out = p.cfg.Attack.Tamper(ctx)
 		}
+		msg := &transport.Message{
+			Type:   transport.TypeGlobalModel,
+			Round:  uint32(round),
+			Sender: uint32(p.cfg.ID),
+			Vec:    out,
+		}
+		if p.cfg.DownlinkCodec != nil && p.v2ok[id] {
+			// Encode here, serially: the codec's scratch buffers are not
+			// safe under the concurrent sends below, and each client may
+			// receive a different (equivocated) vector anyway.
+			enc, payload := p.cfg.DownlinkCodec.AppendEncode(nil, out)
+			msg.Enc, msg.Payload, msg.Vec = enc, payload, nil
+		}
 		sent++
+		bytesOut += msg.ModelWireBytes()
 		wg.Add(1)
-		go func(id int, conn *transport.Conn, vec []float64) {
+		go func(id int, conn *transport.Conn, msg *transport.Message) {
 			defer wg.Done()
-			err := conn.Send(&transport.Message{
-				Type:   transport.TypeGlobalModel,
-				Round:  uint32(round),
-				Sender: uint32(p.cfg.ID),
-				Vec:    vec,
-			})
-			if err != nil {
+			if err := conn.Send(msg); err != nil {
 				errs <- sendErr{client: id, err: err}
 			}
-		}(id, conn, out)
+		}(id, conn, msg)
 	}
 	wg.Wait()
 	close(errs)
 
 	p.mu.Lock()
 	p.stats.FloatsOut += sent * len(agg)
+	p.stats.BytesOut += bytesOut
 	p.mu.Unlock()
 	p.history = append(p.history, agg)
 

@@ -57,7 +57,7 @@ func (c *Conn) recvAuthenticated() (*Message, error) {
 	var frame capture
 	m, err := Decode(io.TeeReader(c.br, &frame))
 	if err != nil {
-		if errors.Is(err, ErrBadChecksum) {
+		if errors.Is(err, ErrBadChecksum) || errors.Is(err, ErrBadPayload) {
 			// The frame body was fully consumed; discard its trailing
 			// tag too so the stream stays frame-aligned and a tolerant
 			// reader can skip the corrupt frame and keep going.

@@ -247,9 +247,11 @@ func (l *FaultLink) draw(frameLen int) FaultEvent {
 	if l.cfg.Corrupt > 0 && l.rng.Float64() < l.cfg.Corrupt {
 		// Flip a bit past the fixed header so the length prefixes stay
 		// intact and the receiver's stream remains frame-aligned (the
-		// CRC rejects the frame; a tolerant reader just skips it).
-		lo := headerLen
-		if frameLen <= headerLen {
+		// CRC rejects the frame; a tolerant reader just skips it). The
+		// v2 header is the longer of the two, so skipping it keeps both
+		// frame versions' prefixes safe.
+		lo := headerLenV2
+		if frameLen <= lo {
 			lo = 0
 		}
 		off := lo

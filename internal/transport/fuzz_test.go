@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"fedms/internal/compress"
 )
 
 // FuzzDecode asserts the wire decoder never panics and never returns a
@@ -40,6 +42,36 @@ func FuzzDecode(f *testing.F) {
 	binary.LittleEndian.PutUint32(overText[16:], uint32(MaxTextLen+1))
 	f.Add(overText)
 
+	// Version-2 frames, one per codec tag, plus the same damage classes:
+	// unknown tag, corrupt payload bit, truncation, oversize length.
+	vec := []float64{1.5, -2.5, 3.25, 0, -4}
+	for _, spec := range []string{"dense", "topk:0.5", "q8"} {
+		sp, err := compress.ParseSpec(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		c, err := sp.NewCodec(7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, payload := c.AppendEncode(nil, vec)
+		f.Add(Encode(&Message{Type: TypeUpload, Round: 5, Sender: 1, Flag: 1,
+			Enc: enc, Payload: payload}))
+	}
+	sparse := &compress.Sparse{Dim: 5, Indices: []uint32{1, 3}, Values: []float64{2, -2}}
+	baseV2 := Encode(&Message{Type: TypeGlobalModel, Round: 6, Sender: 0,
+		Enc: compress.EncSparse, Payload: sparse.Encode()})
+	unknownTag := append([]byte(nil), baseV2...)
+	unknownTag[16] = 200
+	f.Add(unknownTag)
+	v2Corrupt := append([]byte(nil), baseV2...)
+	v2Corrupt[headerLenV2+3] ^= 0x10
+	f.Add(v2Corrupt)
+	f.Add(baseV2[:headerLenV2+5])
+	v2Over := append([]byte(nil), baseV2...)
+	binary.LittleEndian.PutUint32(v2Over[21:], uint32(MaxPayloadLen+1))
+	f.Add(v2Over)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))
 		if err != nil {
@@ -54,6 +86,10 @@ func FuzzDecode(f *testing.F) {
 		if again.Type != m.Type || again.Round != m.Round || again.Sender != m.Sender ||
 			again.Flag != m.Flag || again.Text != m.Text || len(again.Vec) != len(m.Vec) {
 			t.Fatal("decode/encode/decode not idempotent")
+		}
+		if again.Enc != m.Enc || !bytes.Equal(again.Payload, m.Payload) ||
+			(again.Payload == nil) != (m.Payload == nil) {
+			t.Fatal("v2 payload not idempotent across decode/encode/decode")
 		}
 	})
 }

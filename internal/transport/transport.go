@@ -3,7 +3,7 @@
 // vectors between clients, parameter servers and the coordinator over
 // TCP.
 //
-// Frame layout (all integers little-endian):
+// Frame layout, version 1 (all integers little-endian):
 //
 //	magic   uint16  0xFED5
 //	version uint8   1
@@ -16,6 +16,14 @@
 //	text    [textLen]byte
 //	vec     [vecLen]float64
 //	crc     uint32  CRC-32 (IEEE) of everything after magic, before crc
+//
+// Version 2 frames replace the dense vector with a tagged codec payload
+// (see internal/compress): after flag comes enc uint8 (the
+// compress.Encoding tag), textLen uint32, payLen uint32 (payload BYTES),
+// then text, payload, crc. Dense models always travel as v1 frames, so
+// a dense-only deployment's wire bytes are byte-identical to the
+// pre-codec protocol; v2 is only emitted for peers that advertised
+// support via HelloCodecV2 in their Hello.
 //
 // The checksum protects against framing bugs and torn writes, which in
 // a model-exchange protocol would otherwise corrupt training silently.
@@ -32,20 +40,36 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"fedms/internal/compress"
 )
 
 // Magic identifies Fed-MS frames.
 const Magic uint16 = 0xFED5
 
-// Version is the wire protocol version.
+// Version is the wire protocol version for dense frames.
 const Version uint8 = 1
+
+// Version2 is the wire protocol version for frames carrying a tagged
+// codec payload instead of a dense vector.
+const Version2 uint8 = 2
 
 // MaxVecLen bounds the model dimension accepted from the wire (64M
 // float64 = 512 MiB), protecting against corrupt length prefixes.
 const MaxVecLen = 64 << 20
 
+// MaxPayloadLen bounds v2 codec payloads (a payload never exceeds the
+// dense encoding of the largest accepted vector).
+const MaxPayloadLen = 8 * MaxVecLen
+
 // MaxTextLen bounds text payloads.
 const MaxTextLen = 1 << 20
+
+// HelloCodecV2 in a Hello frame's Text advertises that the sender can
+// decode version-2 codec frames. Peers that did not advertise it only
+// ever receive dense v1 frames, which keeps mixed-version federations
+// interoperable.
+const HelloCodecV2 = "enc:v2"
 
 // Type enumerates message types.
 type Type uint8
@@ -94,6 +118,12 @@ type Message struct {
 	Flag   uint32
 	Text   string
 	Vec    []float64
+
+	// Enc tags the encoding of Payload on version-2 frames.
+	Enc compress.Encoding
+	// Payload carries the encoded model of a version-2 frame. When nil
+	// the model travels dense in Vec and the frame is encoded as v1.
+	Payload []byte
 }
 
 // Protocol errors.
@@ -102,9 +132,41 @@ var (
 	ErrBadVersion  = errors.New("transport: unsupported version")
 	ErrBadChecksum = errors.New("transport: checksum mismatch")
 	ErrTooLarge    = errors.New("transport: frame exceeds size limits")
+	// ErrBadPayload reports a v2 frame whose codec payload is invalid
+	// (unknown tag or structurally malformed). Like ErrBadChecksum, the
+	// full frame has been consumed when it is returned, so the stream
+	// stays frame-aligned and tolerant readers can skip and continue.
+	ErrBadPayload = errors.New("transport: bad codec payload")
 )
 
 const headerLen = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4
+
+// v2 header: magic, version, type, round, sender, flag, enc, textLen,
+// payLen.
+const headerLenV2 = 2 + 1 + 1 + 4 + 4 + 4 + 1 + 4 + 4
+
+// ModelVec returns the dense model the frame carries: Vec for v1
+// frames, the decoded codec payload for v2 frames. Decode failures wrap
+// ErrBadPayload.
+func (m *Message) ModelVec() ([]float64, error) {
+	if m.Payload == nil {
+		return m.Vec, nil
+	}
+	v, err := compress.DecodePayload(m.Enc, m.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return v, nil
+}
+
+// ModelWireBytes reports the bytes the model occupied on the wire
+// (dense vectors count 8 per coordinate, v2 frames their payload size).
+func (m *Message) ModelWireBytes() int {
+	if m.Payload != nil {
+		return len(m.Payload)
+	}
+	return 8 * len(m.Vec)
+}
 
 // Encode serializes the message into a fresh byte slice (frame bytes
 // including checksum).
@@ -115,8 +177,13 @@ func Encode(m *Message) []byte {
 // AppendEncode serializes the message, appends the frame bytes
 // (including checksum) to dst, and returns the extended slice. It lets
 // hot paths reuse one buffer across frames instead of allocating
-// headerLen+8d bytes per send.
+// headerLen+8d bytes per send. Messages with a nil Payload encode as
+// dense v1 frames (byte-identical to the pre-codec protocol); a non-nil
+// Payload encodes as a v2 codec frame.
 func AppendEncode(dst []byte, m *Message) []byte {
+	if m.Payload != nil {
+		return appendEncodeV2(dst, m)
+	}
 	textLen := len(m.Text)
 	vecLen := len(m.Vec)
 	start := len(dst)
@@ -141,6 +208,31 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	return dst
 }
 
+// appendEncodeV2 emits a version-2 frame carrying m.Payload.
+func appendEncodeV2(dst []byte, m *Message) []byte {
+	textLen := len(m.Text)
+	payLen := len(m.Payload)
+	start := len(dst)
+	dst = growBytes(dst, headerLenV2+textLen+payLen+4)
+	buf := dst[start:]
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version2
+	buf[3] = uint8(m.Type)
+	binary.LittleEndian.PutUint32(buf[4:], m.Round)
+	binary.LittleEndian.PutUint32(buf[8:], m.Sender)
+	binary.LittleEndian.PutUint32(buf[12:], m.Flag)
+	buf[16] = uint8(m.Enc)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(textLen))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(payLen))
+	copy(buf[headerLenV2:], m.Text)
+	off := headerLenV2 + textLen
+	copy(buf[off:], m.Payload)
+	off += payLen
+	crc := crc32.ChecksumIEEE(buf[2:off])
+	binary.LittleEndian.PutUint32(buf[off:], crc)
+	return dst
+}
+
 // growBytes extends b by n bytes, reallocating only when the capacity
 // is insufficient. The extension is NOT zeroed — AppendEncode writes
 // every appended byte.
@@ -158,24 +250,47 @@ func growBytes(b []byte, n int) []byte {
 // headerLen+8d bytes, far too large to re-allocate per round per link.
 var encodeBufs = sync.Pool{New: func() any { return new([]byte) }}
 
-// Decode reads one frame from r.
+// Decode reads one frame from r, accepting both v1 dense frames and v2
+// codec frames.
 func Decode(r io.Reader) (*Message, error) {
-	header := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, header); err != nil {
+	// The two versions have different header lengths, so read the common
+	// prefix (magic, version, type) before the rest of the header.
+	const prefixLen = 4
+	header := make([]byte, headerLenV2)
+	if _, err := io.ReadFull(r, header[:prefixLen]); err != nil {
 		return nil, err
 	}
 	if binary.LittleEndian.Uint16(header[0:]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if header[2] != Version {
+	switch header[2] {
+	case Version:
+		header = header[:headerLen]
+	case Version2:
+	default:
 		return nil, ErrBadVersion
 	}
-	textLen := binary.LittleEndian.Uint32(header[16:])
-	vecLen := binary.LittleEndian.Uint32(header[20:])
-	if textLen > MaxTextLen || vecLen > MaxVecLen {
-		return nil, ErrTooLarge
+	if _, err := io.ReadFull(r, header[prefixLen:]); err != nil {
+		return nil, err
 	}
-	body := make([]byte, int(textLen)+8*int(vecLen)+4)
+	var textLen, modelBytes int
+	var enc compress.Encoding
+	if header[2] == Version {
+		textLen = int(binary.LittleEndian.Uint32(header[16:]))
+		vecLen := int(binary.LittleEndian.Uint32(header[20:]))
+		if textLen > MaxTextLen || vecLen > MaxVecLen {
+			return nil, ErrTooLarge
+		}
+		modelBytes = 8 * vecLen
+	} else {
+		enc = compress.Encoding(header[16])
+		textLen = int(binary.LittleEndian.Uint32(header[17:]))
+		modelBytes = int(binary.LittleEndian.Uint32(header[21:]))
+		if textLen > MaxTextLen || modelBytes > MaxPayloadLen {
+			return nil, ErrTooLarge
+		}
+	}
+	body := make([]byte, textLen+modelBytes+4)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
@@ -195,9 +310,22 @@ func Decode(r io.Reader) (*Message, error) {
 	if textLen > 0 {
 		m.Text = string(payload[:textLen])
 	}
-	if vecLen > 0 {
-		m.Vec = make([]float64, vecLen)
-		off := int(textLen)
+	if header[2] == Version2 {
+		// The full frame is consumed and checksummed: payload errors from
+		// here leave the stream frame-aligned for tolerant readers.
+		if !compress.KnownEncoding(enc) {
+			return nil, fmt.Errorf("%w: unknown encoding tag %d", ErrBadPayload, uint8(enc))
+		}
+		m.Enc = enc
+		// make (not append) so an empty payload stays non-nil and the
+		// message re-encodes as v2.
+		m.Payload = make([]byte, modelBytes)
+		copy(m.Payload, payload[textLen:])
+		return m, nil
+	}
+	if modelBytes > 0 {
+		m.Vec = make([]float64, modelBytes/8)
+		off := textLen
 		for i := range m.Vec {
 			m.Vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 			off += 8
