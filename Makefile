@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos fuzz bench bench-diff
+.PHONY: build test verify race chaos trace fuzz bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,14 @@ test:
 # Tier-1 plus the race-clean tier: everything must pass with -race.
 # The GEMM determinism contract runs first on its own — the worker-
 # parallel kernels underpin every training result, so their races should
-# fail fast and by name before the full suite runs.
+# fail fast and by name before the full suite runs. The observability
+# contract follows for the same reason: metrics, tracing and logging
+# must never perturb a seeded run, so its violations should also fail
+# by name.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
+	$(GO) test -race -run 'TestObsDeterminism' ./internal/node/ ./internal/core/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.
@@ -28,6 +32,14 @@ race:
 # The deterministic chaos scenarios, verbosely.
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/node/...
+
+# A short lossy local federation with the JSONL round trace on, written
+# to chaos_trace.jsonl — the runnable example behind the EXPERIMENTS.md
+# trace walkthrough; CI uploads the file as a build artifact.
+trace:
+	$(GO) run ./cmd/fedms-node -role local -clients 4 -servers 2 \
+		-rounds 5 -samples 800 -fault-drop 0.1 -fault-seed 7 \
+		-min-models 1 -timeout 5s -trace chaos_trace.jsonl
 
 # Short fuzz pass over the wire decoder (corpus includes injector-
 # damaged frames).

@@ -25,6 +25,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"sync"
@@ -37,6 +41,7 @@ import (
 	"fedms/internal/core"
 	"fedms/internal/nn"
 	"fedms/internal/node"
+	"fedms/internal/obs"
 	"fedms/internal/randx"
 	"fedms/internal/transport"
 )
@@ -81,6 +86,10 @@ type options struct {
 	// resolved once in run() so every role shares the validation.
 	upSpec   compress.Spec
 	downSpec compress.Spec
+
+	metricsAddr string
+	tracePath   string
+	logRounds   bool
 }
 
 func main() {
@@ -125,6 +134,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.minModels, "min-models", 0, "tolerant client: accept a round with >= this many global models (0 = strict, require all P)")
 	fs.StringVar(&o.codec, "codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed (e.g. ef+topk:0.1)")
 	fs.StringVar(&o.downCodec, "downlink-codec", "dense", "downlink codec spec (same grammar, no ef+; dense keeps the wire byte-identical to v1)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus metrics at /metrics and pprof at /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
+	fs.StringVar(&o.tracePath, "trace", "", "write the per-round JSONL trace to this file when the run ends")
+	fs.BoolVar(&o.logRounds, "log", false, "structured per-round logging (log/slog) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -196,15 +208,116 @@ func run(args []string) error {
 	if o.downSpec.EF {
 		return fmt.Errorf("-downlink-codec %q: error feedback is per-stream state and cannot be used on the broadcast downlink; drop the ef+ prefix", o.downCodec)
 	}
+	st, err := o.setupObs()
+	if err != nil {
+		return err
+	}
+	defer st.close()
+
 	switch o.role {
 	case "ps":
-		return runPS(o)
+		err = runPS(o, st)
 	case "client":
-		return runClientRole(o)
+		err = runClientRole(o, st)
 	case "local":
-		return runLocal(o)
+		err = runLocal(o, st)
 	default:
 		return fmt.Errorf("unknown role %q", o.role)
+	}
+	// The trace is written even when the run failed: a chaos run that
+	// died mid-federation is exactly when the trace matters.
+	if werr := st.writeTrace(o.tracePath); werr != nil && err == nil {
+		err = werr
+	}
+	return err
+}
+
+// obsState bundles the process-wide observability wiring: one metrics
+// registry (served over HTTP when -metrics-addr is set), one bounded
+// round trace (written as JSONL when -trace is set), and an optional
+// per-round slog logger. All fields may be nil — the runtime treats
+// nil as disabled.
+type obsState struct {
+	reg    *obs.Registry
+	trace  *obs.Trace
+	logger *slog.Logger
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// setupObs builds the observability state from the flags and, when
+// requested, starts the metrics server.
+func (o *options) setupObs() (*obsState, error) {
+	st := &obsState{}
+	if o.tracePath != "" {
+		st.trace = obs.NewTrace(0)
+	}
+	if o.logRounds {
+		st.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if o.metricsAddr != "" {
+		st.reg = obs.NewRegistry()
+		if err := st.serveMetrics(o.metricsAddr); err != nil {
+			return nil, err
+		}
+		fmt.Printf("fedms-node: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", st.addr())
+	}
+	return st, nil
+}
+
+// serveMetrics starts the HTTP server exposing the registry in
+// Prometheus text format plus net/http/pprof.
+func (st *obsState) serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-metrics-addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", st.reg)
+	// The default pprof handlers register on http.DefaultServeMux; this
+	// server uses its own mux, so mount them explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	st.ln = ln
+	st.srv = &http.Server{Handler: mux}
+	go func() { _ = st.srv.Serve(ln) }()
+	return nil
+}
+
+// addr returns the metrics server's bound address ("" when disabled).
+func (st *obsState) addr() string {
+	if st.ln == nil {
+		return ""
+	}
+	return st.ln.Addr().String()
+}
+
+// writeTrace dumps the round trace as JSONL; a no-op without -trace.
+func (st *obsState) writeTrace(path string) error {
+	if path == "" || st.trace == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.trace.WriteJSONL(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("fedms-node: wrote %d trace events to %s\n", st.trace.Len(), path)
+	return nil
+}
+
+func (st *obsState) close() {
+	if st.srv != nil {
+		_ = st.srv.Close()
 	}
 }
 
@@ -332,7 +445,7 @@ func (o *options) learner(id int) (core.Learner, error) {
 	return eng.Learners()[id], nil
 }
 
-func runPS(o *options) error {
+func runPS(o *options, st *obsState) error {
 	byzIDs, err := o.byzantineIDs()
 	if err != nil {
 		return err
@@ -359,6 +472,9 @@ func runPS(o *options) error {
 		Tolerant:        o.tolerant(),
 		Faults:          o.faultInjector(),
 		CrashAfterRound: o.faultCrash,
+		Logger:          st.logger,
+		Obs:             st.reg,
+		TraceSink:       st.trace,
 	})
 	if err != nil {
 		return err
@@ -371,7 +487,7 @@ func runPS(o *options) error {
 	return ps.Serve()
 }
 
-func runClientRole(o *options) error {
+func runClientRole(o *options, st *obsState) error {
 	if o.peers == "" {
 		return fmt.Errorf("client role requires -peers")
 	}
@@ -399,11 +515,15 @@ func runClientRole(o *options) error {
 		Codec:                 o.clientCodec(o.id),
 		AcceptEncodedDownlink: !o.downSpec.IsDense(),
 		Seed:                  o.seed,
+		Key:                   o.authKey(),
 		Timeout:               o.timeout,
 		EvalEvery:             5,
 		MinModels:             o.minModels,
 		Faults:                o.faultInjector(),
 		Redial:                o.minModels > 0,
+		Logger:                st.logger,
+		Obs:                   st.reg,
+		TraceSink:             st.trace,
 	})
 	if err != nil {
 		return err
@@ -418,7 +538,7 @@ func runClientRole(o *options) error {
 }
 
 // runLocal runs the whole federation in one process over loopback TCP.
-func runLocal(o *options) error {
+func runLocal(o *options, st *obsState) error {
 	byzIDs, err := o.byzantineIDs()
 	if err != nil {
 		return err
@@ -459,6 +579,9 @@ func runLocal(o *options) error {
 			Tolerant:        tolerant,
 			Faults:          fi,
 			CrashAfterRound: crash,
+			Logger:          st.logger,
+			Obs:             st.reg,
+			TraceSink:       st.trace,
 		})
 		if err != nil {
 			return err
@@ -522,6 +645,9 @@ func runLocal(o *options) error {
 				MinModels:             o.minModels,
 				Faults:                fi,
 				Redial:                o.minModels > 0,
+				Logger:                st.logger,
+				Obs:                   st.reg,
+				TraceSink:             st.trace,
 			})
 			if err != nil {
 				errCh <- err

@@ -19,6 +19,7 @@ import (
 	"fedms/internal/attack"
 	"fedms/internal/checkpoint"
 	"fedms/internal/metrics"
+	"fedms/internal/obs"
 	"fedms/internal/plot"
 )
 
@@ -54,6 +55,7 @@ func run(args []string) error {
 		downCodec  = fs.String("downlink-codec", "dense", "downlink codec spec (same grammar, no ef+)")
 		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
 		asPlot     = fs.Bool("plot", false, "render the accuracy curve as an ASCII chart at the end")
+		tracePath  = fs.String("trace", "", "write a JSONL round trace (one engine_round event per round) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +99,11 @@ func run(args []string) error {
 		UploadCodec:   *codec,
 		DownlinkCodec: *downCodec,
 	}
+	var trace *fedms.Trace
+	if *tracePath != "" {
+		trace = obs.NewTrace(0)
+		cfg.TraceSink = trace
+	}
 
 	eng, err := fedms.BuildEngine(cfg)
 	if err != nil {
@@ -126,6 +133,21 @@ func run(args []string) error {
 	}
 	loss, acc := eng.Evaluate()
 	fmt.Printf("final: test_loss=%.4f test_acc=%.4f\n", loss, acc)
+
+	if trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", trace.Len(), *tracePath)
+	}
 
 	if *asPlot && accSeries.Len() > 0 {
 		if err := plot.Render(os.Stdout, tbl, plot.Options{Width: 64, Height: 12, YMin: 0, YMax: 1}); err != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -25,6 +28,45 @@ func TestRunWithPlotAndCheckpoint(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	const rounds = 3
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{
+		"-clients", "4", "-servers", "2", "-byzantine", "0",
+		"-rounds", "3", "-eval", "3", "-samples", "600",
+		"-trace", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Round int    `json:"round"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.Event != "engine_round" || ev.Round != lines {
+			t.Fatalf("unexpected event %q at round %d (line %d)", ev.Event, ev.Round, lines)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != rounds {
+		t.Fatalf("trace has %d events, want one per round (%d)", lines, rounds)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"fedms/internal/data"
 	"fedms/internal/metrics"
 	"fedms/internal/nn"
+	"fedms/internal/obs"
 	"fedms/internal/randx"
 )
 
@@ -105,6 +106,15 @@ type (
 	Series = metrics.Series
 	// Table is a collection of metric curves.
 	Table = metrics.Table
+
+	// Registry is the runtime metrics registry (atomic counters,
+	// gauges and histograms, Prometheus text export).
+	Registry = obs.Registry
+	// Trace is the bounded per-round structured event trace (JSONL
+	// export).
+	Trace = obs.Trace
+	// TraceEvent is one trace record.
+	TraceEvent = obs.Event
 )
 
 // Upload strategies.
@@ -263,6 +273,15 @@ type Config struct {
 	// way. Error feedback is rejected here: a broadcast has no
 	// per-stream residual.
 	DownlinkCodec string
+
+	// Obs, when non-nil, collects the engine's runtime metrics
+	// (fedms_engine_*). Observation never perturbs training: seeded
+	// runs are bit-identical with or without it.
+	Obs *Registry
+	// TraceSink, when non-nil, records one TraceEvent per round with
+	// stage timings and round statistics; write it out with
+	// Trace.WriteJSONL.
+	TraceSink *Trace
 }
 
 // Result collects a finished run.
@@ -401,6 +420,8 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		Workers:             cfg.Workers,
 		UploadCodec:         uploadSpec,
 		DownlinkCodec:       downlinkSpec,
+		Obs:                 cfg.Obs,
+		TraceSink:           cfg.TraceSink,
 	}, learners)
 }
 

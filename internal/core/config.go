@@ -9,6 +9,7 @@ import (
 	"fedms/internal/attack"
 	"fedms/internal/compress"
 	"fedms/internal/nn"
+	"fedms/internal/obs"
 	"fedms/internal/randx"
 )
 
@@ -135,6 +136,16 @@ type Config struct {
 	// (round index, losses, accuracy, communication, spread) — wire it
 	// to log/slog for production observability.
 	Logger *slog.Logger
+	// Obs, when non-nil, registers the engine's runtime metrics
+	// (fedms_engine_rounds_total and the per-stage
+	// fedms_engine_stage_seconds histograms). Observation never
+	// perturbs training: seeded runs are bit-identical with or without
+	// it (see TestObsDeterminism*).
+	Obs *obs.Registry
+	// TraceSink, when non-nil, receives one obs.Event per round
+	// ("engine_round") with stage timings and round statistics,
+	// exportable as JSONL.
+	TraceSink *obs.Trace
 }
 
 // Validate checks the configuration and returns a normalized copy with

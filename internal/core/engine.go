@@ -11,6 +11,7 @@ import (
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
 	"fedms/internal/compress"
+	"fedms/internal/obs"
 	"fedms/internal/randx"
 	"fedms/internal/tensor"
 )
@@ -68,6 +69,12 @@ type Engine struct {
 	encBuf []byte
 
 	round int
+
+	// om mirrors round progress into the configured registry; obsOn
+	// gates the extra per-stage clock reads so a fully disabled engine
+	// keeps the exact pre-observability timing profile.
+	om    *engineMetrics
+	obsOn bool
 }
 
 // NewEngine validates cfg, aligns every learner to the same initial
@@ -135,6 +142,8 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 		history:  make([][][]float64, cfg.Servers),
 		lastAgg:  lastAgg,
 		codecs:   codecs,
+		om:       newEngineMetrics(cfg.Obs),
+		obsOn:    cfg.Obs != nil || cfg.TraceSink != nil,
 	}, nil
 }
 
@@ -171,6 +180,15 @@ func (e *Engine) RunRound() RoundStats {
 	start := time.Now()
 	st := RoundStats{Round: t}
 
+	// Per-stage timings (train / upload+aggregate / disseminate+filter /
+	// eval) for the stage histograms and the round trace. mark advances
+	// at each stage boundary; all reads are gated on obsOn.
+	var tTrain, tUpload, tFilter, tEval time.Duration
+	var mark time.Time
+	if e.obsOn {
+		mark = start
+	}
+
 	// Byzantine clients' upload attacks may reference the model the
 	// round started from; snapshot it before training.
 	var startParams map[int][]float64
@@ -188,6 +206,10 @@ func (e *Engine) RunRound() RoundStats {
 		st.TrainLoss += l
 	}
 	st.TrainLoss /= float64(len(losses))
+	if e.obsOn {
+		now := time.Now()
+		tTrain, mark = now.Sub(mark), now
+	}
 
 	// Snapshot the uploaded local models w_{k,t,E} of active clients.
 	uploads := make([][]float64, e.cfg.Clients)
@@ -256,6 +278,10 @@ func (e *Engine) RunRound() RoundStats {
 			st.UploadBytes += uploadBytes[k]
 		}
 	}
+	if e.obsOn {
+		now := time.Now()
+		tUpload, mark = now.Sub(mark), now
+	}
 
 	// ---- Model dissemination + filter stage (lines 5, 12-13) ----
 	st.DownloadFloats = e.cfg.Servers * e.cfg.Clients * e.dim
@@ -304,6 +330,10 @@ func (e *Engine) RunRound() RoundStats {
 	for i := 0; i < e.cfg.Servers; i++ {
 		e.history[i] = append(e.history[i], aggs[i])
 	}
+	if e.obsOn {
+		now := time.Now()
+		tFilter, mark = now.Sub(mark), now
+	}
 
 	// ---- Evaluation ----
 	if e.cfg.EvalEvery > 0 && (t%e.cfg.EvalEvery == e.cfg.EvalEvery-1 || t == e.cfg.Rounds-1) {
@@ -311,7 +341,40 @@ func (e *Engine) RunRound() RoundStats {
 		st.Evaluated = true
 	}
 
+	if e.obsOn {
+		tEval = time.Since(mark)
+	}
+
 	st.Elapsed = time.Since(start)
+	if e.om != nil {
+		e.om.rounds.Inc()
+		e.om.train.ObserveDuration(tTrain)
+		e.om.upload.ObserveDuration(tUpload)
+		e.om.filter.ObserveDuration(tFilter)
+		e.om.eval.ObserveDuration(tEval)
+	}
+	if e.cfg.TraceSink != nil {
+		evaluated := 0.0
+		if st.Evaluated {
+			evaluated = 1
+		}
+		fields := map[string]float64{
+			"train_ms":       tTrain.Seconds() * 1e3,
+			"upload_ms":      tUpload.Seconds() * 1e3,
+			"filter_ms":      tFilter.Seconds() * 1e3,
+			"eval_ms":        tEval.Seconds() * 1e3,
+			"train_loss":     st.TrainLoss,
+			"model_spread":   st.ModelSpread,
+			"upload_bytes":   float64(st.UploadBytes),
+			"download_bytes": float64(st.DownloadBytes),
+			"evaluated":      evaluated,
+		}
+		if st.Evaluated {
+			fields["test_loss"] = st.TestLoss
+			fields["test_acc"] = st.TestAcc
+		}
+		e.cfg.TraceSink.Emit(obs.Event{Round: t, Node: "engine", Name: "engine_round", Fields: fields})
+	}
 	if e.cfg.Logger != nil {
 		attrs := []any{
 			"round", st.Round,

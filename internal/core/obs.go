@@ -1,0 +1,30 @@
+package core
+
+import "fedms/internal/obs"
+
+// engineMetrics holds the engine's registry collectors: a round
+// counter and one latency histogram per round stage. nil when the
+// config has no registry — the engine checks once per round.
+type engineMetrics struct {
+	rounds *obs.Counter
+	train  *obs.Histogram
+	upload *obs.Histogram
+	filter *obs.Histogram
+	eval   *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	h := func(stage string) *obs.Histogram {
+		return reg.Histogram(`fedms_engine_stage_seconds{stage="`+stage+`"}`, nil)
+	}
+	return &engineMetrics{
+		rounds: reg.Counter("fedms_engine_rounds_total"),
+		train:  h("train"),
+		upload: h("upload"),
+		filter: h("filter"),
+		eval:   h("eval"),
+	}
+}

@@ -3,6 +3,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/nn"
+	"fedms/internal/obs"
 	"fedms/internal/randx"
 	"fedms/internal/transport"
 )
@@ -41,6 +43,13 @@ type chaosOpts struct {
 	psTimeout     time.Duration
 	clientTimeout time.Duration
 	onRound       func(client, round int, received map[int][]float64, filtered []float64)
+
+	// Observability hooks shared by every node in the scenario. The obs
+	// determinism contract (TestObsDeterminism*) runs the same seeded
+	// chaos with and without them and demands bit-identical models.
+	reg       *obs.Registry
+	traceSink *obs.Trace
+	logger    *slog.Logger
 }
 
 // runChaos executes a full distributed run under the scenario and
@@ -81,6 +90,9 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 			Faults:          pfi,
 			CrashAfterRound: o.crashAfter[i],
 			DownlinkCodec:   dc,
+			Logger:          o.logger,
+			Obs:             o.reg,
+			TraceSink:       o.traceSink,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -136,6 +148,9 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 				OnRound:               hook,
 				Codec:                 uc,
 				AcceptEncodedDownlink: !o.downCodec.IsDense(),
+				Logger:                o.logger,
+				Obs:                   o.reg,
+				TraceSink:             o.traceSink,
 			})
 			if err != nil {
 				errCh <- err

@@ -3,6 +3,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/nn"
+	"fedms/internal/obs"
 	"fedms/internal/transport"
 )
 
@@ -86,6 +88,19 @@ type ClientConfig struct {
 	// this client's global-model frames. Off by default: the downlink
 	// stays dense and the trimmed-mean filter sees exact aggregates.
 	AcceptEncodedDownlink bool
+
+	// Logger, when non-nil, records one structured line per round (the
+	// engine's slog pattern adopted by the distributed runtime).
+	Logger *slog.Logger
+	// Obs, when non-nil, registers this client's runtime counters and
+	// the transport counters of its connections (fedms_client_* and
+	// fedms_transport_*, labelled by node). Observation never perturbs
+	// the protocol: seeded runs are bit-identical with or without it
+	// (see TestObsDeterminism*).
+	Obs *obs.Registry
+	// TraceSink, when non-nil, receives one obs.Event per completed
+	// round ("client_round") with participation and wire totals.
+	TraceSink *obs.Trace
 }
 
 // ClientRoundStats records one round as seen by a client node.
@@ -112,8 +127,8 @@ type ClientRoundStats struct {
 }
 
 // dialPS connects to server i with capped exponential backoff, performs
-// the hello handshake, and attaches the fault link.
-func dialPS(cfg *ClientConfig, i int, addr string, hello []float64) (*transport.Conn, error) {
+// the hello handshake, and attaches the fault link and wire counters.
+func dialPS(cfg *ClientConfig, i int, addr string, hello []float64, tm *transport.Metrics) (*transport.Conn, error) {
 	backoff := cfg.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
@@ -130,6 +145,7 @@ func dialPS(cfg *ClientConfig, i int, addr string, hello []float64) (*transport.
 			continue
 		}
 		conn.SetKey(cfg.Key)
+		conn.SetMetrics(tm)
 		msg := &transport.Message{
 			Type:   transport.TypeHello,
 			Sender: uint32(cfg.ID),
@@ -168,7 +184,7 @@ type recvResult struct {
 // the PS has already broadcast a later round, the future frame is
 // parked in *pending (consumed first on the next call) instead of
 // condemning a healthy connection.
-func recvModel(conn *transport.Conn, pending **transport.Message, psID, round int, tolerant bool) recvResult {
+func recvModel(conn *transport.Conn, pending **transport.Message, psID, round int, tolerant bool, skipped *obs.Counter) recvResult {
 	for tries := 0; tries < maxBadFrames; tries++ {
 		var m *transport.Message
 		var err error
@@ -181,6 +197,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 			if tolerant {
 				if errors.Is(err, transport.ErrBadChecksum) || errors.Is(err, transport.ErrBadMAC) ||
 					errors.Is(err, transport.ErrBadPayload) {
+					skipped.Inc()
 					continue
 				}
 				if isTimeout(err) {
@@ -192,6 +209,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 		if tolerant && m.Type == transport.TypeGlobalModel {
 			if int(m.Round) < round {
 				// A duplicated or delayed model from an earlier round.
+				skipped.Inc()
 				continue
 			}
 			if int(m.Round) > round {
@@ -211,6 +229,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 			// A checksummed frame with a malformed codec payload can only
 			// come from a Byzantine PS; treat it like a corrupt frame.
 			if tolerant {
+				skipped.Inc()
 				continue
 			}
 			return recvResult{dead: true, err: err}
@@ -271,6 +290,14 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	// encBuf is reused across rounds for the encoded upload payload.
 	var encBuf []byte
 
+	cm := newClientMetrics(cfg.Obs, cfg.ID)
+	tm := transport.NewMetrics(cfg.Obs, fmt.Sprintf("c%d", cfg.ID))
+	// obsOn gates the wall-clock measurement of the dissemination wait;
+	// with observability fully disabled the protocol path never reads
+	// the clock.
+	obsOn := cfg.Obs != nil || cfg.TraceSink != nil || cfg.Logger != nil
+	nodeName := fmt.Sprintf("c%d", cfg.ID)
+
 	conns := make([]*transport.Conn, p)
 	// pendings[i] parks a future-round model read early from PS i (see
 	// recvModel); it never outlives the connection it was read from.
@@ -293,7 +320,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	w0 := cfg.Learner.Params()
 	liveCount := 0
 	for i, addr := range cfg.Servers {
-		conn, err := dialPS(&cfg, i, addr, w0)
+		conn, err := dialPS(&cfg, i, addr, w0, tm)
 		if err != nil {
 			if !tolerant {
 				return nil, fmt.Errorf("node: client %d: %w", cfg.ID, err)
@@ -318,9 +345,14 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				if conn != nil {
 					continue
 				}
-				if c, err := dialPS(&cfg, i, cfg.Servers[i], cfg.Learner.Params()); err == nil {
+				cm.redialAttempts.Inc()
+				if c, err := dialPS(&cfg, i, cfg.Servers[i], cfg.Learner.Params(), tm); err == nil {
 					conns[i] = c
 					pendings[i] = nil
+					cm.redialsOK.Inc()
+					if cfg.Logger != nil {
+						cfg.Logger.Info("client redial", "client", cfg.ID, "round", round, "ps", i)
+					}
 				}
 			}
 		}
@@ -392,6 +424,10 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 		// PS, in parallel so a slow or silent server costs one timeout,
 		// not P of them.
 		results := make([]recvResult, p)
+		var recvStart time.Time
+		if obsOn {
+			recvStart = time.Now()
+		}
 		var wg sync.WaitGroup
 		for i, conn := range conns {
 			if conn == nil {
@@ -400,10 +436,14 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			wg.Add(1)
 			go func(i int, conn *transport.Conn) {
 				defer wg.Done()
-				results[i] = recvModel(conn, &pendings[i], i, round, tolerant)
+				results[i] = recvModel(conn, &pendings[i], i, round, tolerant, cm.framesSkipped)
 			}(i, conn)
 		}
 		wg.Wait()
+		var recvWait time.Duration
+		if obsOn {
+			recvWait = time.Since(recvStart)
+		}
 
 		received := make(map[int][]float64, p)
 		for i := range conns {
@@ -464,6 +504,44 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			st.Evaluated = true
 		}
 		stats = append(stats, st)
+
+		cm.rounds.Inc()
+		cm.modelsRecv.Add(int64(got))
+		cm.modelsMissed.Add(int64(p - got))
+		if st.Degraded {
+			cm.degraded.Inc()
+		}
+		cm.uploadBytes.Add(int64(st.UploadBytes))
+		cm.downloadBytes.Add(int64(st.DownloadBytes))
+		cm.recvWait.ObserveDuration(recvWait)
+		if cfg.TraceSink != nil {
+			degraded := 0.0
+			if st.Degraded {
+				degraded = 1
+			}
+			cfg.TraceSink.Emit(obs.Event{
+				Round: round,
+				Node:  nodeName,
+				Name:  "client_round",
+				Fields: map[string]float64{
+					"models_received": float64(got),
+					"degraded":        degraded,
+					"uploaded_to":     float64(st.UploadedTo),
+					"train_loss":      st.TrainLoss,
+					"upload_bytes":    float64(st.UploadBytes),
+					"download_bytes":  float64(st.DownloadBytes),
+					"recv_wait_ms":    recvWait.Seconds() * 1e3,
+				},
+			})
+		}
+		if cfg.Logger != nil {
+			cfg.Logger.Info("client round",
+				"client", cfg.ID, "round", round,
+				"models", got, "degraded", st.Degraded, "uploaded_to", st.UploadedTo,
+				"train_loss", st.TrainLoss,
+				"upload_bytes", st.UploadBytes, "download_bytes", st.DownloadBytes,
+				"recv_wait_ms", recvWait.Seconds()*1e3)
+		}
 	}
 	return stats, nil
 }

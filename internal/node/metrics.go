@@ -1,0 +1,77 @@
+package node
+
+import (
+	"strconv"
+
+	"fedms/internal/obs"
+)
+
+// psMetrics mirrors PSStats into a live obs.Registry, adding the
+// barrier-wait distribution that lifetime counters cannot express.
+// The constructor always returns a usable value: with a nil registry
+// every collector is nil and every update is a no-op branch, so call
+// sites never guard.
+type psMetrics struct {
+	rounds        *obs.Counter
+	uploadsRecv   *obs.Counter
+	uploadsMissed *obs.Counter
+	clientsLost   *obs.Counter
+	badAccepts    *obs.Counter
+	framesSkipped *obs.Counter
+	sendsFailed   *obs.Counter
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	floatsIn      *obs.Counter
+	floatsOut     *obs.Counter
+	barrierWait   *obs.Histogram
+}
+
+func newPSMetrics(reg *obs.Registry, id int) *psMetrics {
+	l := `{ps="` + strconv.Itoa(id) + `"}`
+	c := func(name string) *obs.Counter { return reg.Counter("fedms_ps_" + name + "_total" + l) }
+	return &psMetrics{
+		rounds:        c("rounds_served"),
+		uploadsRecv:   c("uploads_received"),
+		uploadsMissed: c("uploads_missed"),
+		clientsLost:   c("clients_lost"),
+		badAccepts:    c("bad_accepts"),
+		framesSkipped: c("frames_skipped"),
+		sendsFailed:   c("sends_failed"),
+		bytesIn:       c("bytes_in"),
+		bytesOut:      c("bytes_out"),
+		floatsIn:      c("floats_in"),
+		floatsOut:     c("floats_out"),
+		barrierWait:   reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
+	}
+}
+
+// clientMetrics is the client-side counterpart of psMetrics.
+type clientMetrics struct {
+	rounds         *obs.Counter
+	degraded       *obs.Counter
+	modelsRecv     *obs.Counter
+	modelsMissed   *obs.Counter
+	redialAttempts *obs.Counter
+	redialsOK      *obs.Counter
+	uploadBytes    *obs.Counter
+	downloadBytes  *obs.Counter
+	framesSkipped  *obs.Counter
+	recvWait       *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry, id int) *clientMetrics {
+	l := `{client="` + strconv.Itoa(id) + `"}`
+	c := func(name string) *obs.Counter { return reg.Counter("fedms_client_" + name + "_total" + l) }
+	return &clientMetrics{
+		rounds:         c("rounds"),
+		degraded:       c("degraded_rounds"),
+		modelsRecv:     c("models_received"),
+		modelsMissed:   c("models_missed"),
+		redialAttempts: c("redial_attempts"),
+		redialsOK:      c("redials_ok"),
+		uploadBytes:    c("upload_bytes"),
+		downloadBytes:  c("download_bytes"),
+		framesSkipped:  c("frames_skipped"),
+		recvWait:       reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
+	}
+}

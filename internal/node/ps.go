@@ -27,6 +27,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"strings"
@@ -37,6 +38,7 @@ import (
 	"fedms/internal/attack"
 	"fedms/internal/compress"
 	"fedms/internal/core"
+	"fedms/internal/obs"
 	"fedms/internal/transport"
 )
 
@@ -48,6 +50,13 @@ const DefaultTimeout = 10 * time.Second
 // tolerant reader skips before declaring the peer missing for the
 // round, so a flood of garbage cannot stall a round forever.
 const maxBadFrames = 8
+
+// maxBadAccepts bounds how many malformed connections a tolerant PS
+// absorbs during its accept phase — port scanners, corrupt first
+// frames, duplicate ids — before giving up, so a garbage flood still
+// terminates while a stray probe no longer kills a healthy
+// federation before round 0.
+const maxBadAccepts = 32
 
 // ErrCrashed reports a parameter server that was crashed mid-protocol
 // (via Crash or CrashAfterRound).
@@ -105,6 +114,19 @@ type PSConfig struct {
 	// — a broadcast shares one codec across clients, so a per-stream
 	// residual would be wrong for all of them.
 	DownlinkCodec compress.Codec
+
+	// Logger, when non-nil, records one structured line per round (the
+	// engine's slog pattern adopted by the distributed runtime).
+	Logger *slog.Logger
+	// Obs, when non-nil, registers this server's runtime counters and
+	// the transport counters of its connections (fedms_ps_* and
+	// fedms_transport_*, labelled by node). Observation never perturbs
+	// the protocol: seeded runs are bit-identical with or without it
+	// (see TestObsDeterminism*).
+	Obs *obs.Registry
+	// TraceSink, when non-nil, receives one obs.Event per served round
+	// ("ps_round") with the round's barrier outcome and wire totals.
+	TraceSink *obs.Trace
 }
 
 // PS is a running parameter-server node.
@@ -121,6 +143,13 @@ type PS struct {
 	// v2ok[id] records whether client id's hello advertised v2 codec
 	// frames; only those clients may receive an encoded downlink.
 	v2ok []bool
+
+	om *psMetrics         // registry mirror of stats (no-op when Obs is nil)
+	tm *transport.Metrics // wire counters shared by this server's conns
+	// obsOn gates the wall-clock measurements (barrier wait) that feed
+	// histograms and traces; with everything disabled not even
+	// time.Now is called on the protocol path.
+	obsOn bool
 }
 
 // PSStats reports a server's lifetime counters.
@@ -136,12 +165,20 @@ type PSStats struct {
 	// ClientsLost counts connections dropped mid-protocol (tolerant
 	// mode only).
 	ClientsLost int
-	// FloatsIn and FloatsOut count model elements received/sent.
+	// BadAccepts counts malformed connections absorbed during the
+	// accept phase (tolerant mode only; strict mode aborts instead).
+	BadAccepts int
+	// FloatsIn and FloatsOut count float64-equivalent model elements
+	// that actually crossed the wire: dense elements for v1 frames,
+	// ceil(payload bytes / 8) for codec frames. A failed downlink send
+	// counts nothing.
 	FloatsIn  int
 	FloatsOut int
 	// BytesIn and BytesOut count model payload bytes on the wire (dense
 	// models count 8 bytes per element, codec payloads their encoded
-	// size).
+	// size). Only successful sends count toward BytesOut, so under
+	// injected send failures it reconciles with the surviving clients'
+	// DownloadBytes sum.
 	BytesIn  int
 	BytesOut int
 }
@@ -175,7 +212,11 @@ func NewPS(cfg PSConfig) (*PS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: PS %d listen: %w", cfg.ID, err)
 	}
-	return &PS{cfg: cfg, ln: ln}, nil
+	p := &PS{cfg: cfg, ln: ln}
+	p.om = newPSMetrics(cfg.Obs, cfg.ID)
+	p.tm = transport.NewMetrics(cfg.Obs, fmt.Sprintf("ps%d", cfg.ID))
+	p.obsOn = cfg.Obs != nil || cfg.TraceSink != nil || cfg.Logger != nil
+	return p, nil
 }
 
 // Addr returns the bound listen address.
@@ -236,7 +277,12 @@ func (p *PS) Serve() error {
 
 	// Accept phase: each client introduces itself with Hello{flag=id}
 	// carrying the shared initial model w_0 (a rejoining client sends
-	// its current model instead, seeding lastAgg for empty rounds).
+	// its current model instead, seeding lastAgg for empty rounds). In
+	// strict mode any malformed connection is fatal (the paper's
+	// synchronous model); in tolerant mode it is closed and absorbed —
+	// up to maxBadAccepts — so a port scanner or corrupt first frame
+	// cannot kill a healthy federation before round 0.
+	badAccepts := 0
 	for accepted := 0; accepted < p.cfg.Clients; accepted++ {
 		raw, err := p.ln.Accept()
 		if err != nil {
@@ -248,16 +294,29 @@ func (p *PS) Serve() error {
 		conn := transport.NewConn(raw)
 		conn.Timeout = p.cfg.Timeout
 		conn.SetKey(p.cfg.Key)
+		conn.SetMetrics(p.tm)
 		hello, err := conn.Recv()
 		if err != nil {
-			return fmt.Errorf("node: PS %d hello: %w", p.cfg.ID, err)
+			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d hello: %w", p.cfg.ID, err)); fatal != nil {
+				return fatal
+			}
+			accepted--
+			continue
 		}
 		if hello.Type != transport.TypeHello {
-			return fmt.Errorf("node: PS %d expected hello, got %s", p.cfg.ID, hello.Type)
+			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d expected hello, got %s", p.cfg.ID, hello.Type)); fatal != nil {
+				return fatal
+			}
+			accepted--
+			continue
 		}
 		id := int(hello.Flag)
 		if id < 0 || id >= p.cfg.Clients || conns[id] != nil {
-			return fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)
+			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)); fatal != nil {
+				return fatal
+			}
+			accepted--
+			continue
 		}
 		if p.cfg.Faults != nil {
 			conn.SetFaults(p.cfg.Faults.Link(fmt.Sprintf("ps%d->c%d", p.cfg.ID, id)))
@@ -291,11 +350,35 @@ func (p *PS) Serve() error {
 	return nil
 }
 
+// badAccept handles a connection that failed the hello handshake.
+// Strict mode returns cause (fatal, the pre-fix behaviour); tolerant
+// mode closes the connection and absorbs it, turning fatal only when
+// maxBadAccepts malformed connections have piled up.
+func (p *PS) badAccept(conn *transport.Conn, badAccepts *int, cause error) error {
+	_ = conn.Close()
+	if !p.cfg.Tolerant {
+		return cause
+	}
+	*badAccepts++
+	p.mu.Lock()
+	p.stats.BadAccepts++
+	p.mu.Unlock()
+	p.om.badAccepts.Inc()
+	if *badAccepts >= maxBadAccepts {
+		return fmt.Errorf("node: PS %d: %d malformed connections during accept (last: %w)", p.cfg.ID, *badAccepts, cause)
+	}
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Warn("ps bad accept", "ps", p.cfg.ID, "count", *badAccepts, "err", cause)
+	}
+	return nil
+}
+
 // upload is one client's contribution to a round barrier.
 type upload struct {
 	client int
 	vec    []float64
 	bytes  int // model payload bytes on the wire
+	floats int // float64-equivalent wire elements (ModelWireFloats)
 	// missed marks a slot whose frame never arrived (timeout or too
 	// much corruption); the connection stays live.
 	missed bool
@@ -324,6 +407,7 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 					errors.Is(err, transport.ErrBadPayload) {
 					// The stream is still frame-aligned: skip the
 					// mangled frame and keep reading.
+					p.om.framesSkipped.Inc()
 					continue
 				}
 				if isTimeout(err) {
@@ -335,6 +419,7 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 		if p.cfg.Tolerant && m.Type == transport.TypeUpload {
 			if int(m.Round) < round {
 				// A duplicated or delayed frame from an earlier round.
+				p.om.framesSkipped.Inc()
 				continue
 			}
 			if int(m.Round) > round {
@@ -358,11 +443,12 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 				// reading (the barrier's maxBadFrames bound still
 				// applies); strict mode condemns the connection.
 				if p.cfg.Tolerant {
+					p.om.framesSkipped.Inc()
 					continue
 				}
 				return upload{client: id, dead: true, err: err}
 			}
-			return upload{client: id, vec: vec, bytes: m.ModelWireBytes()}
+			return upload{client: id, vec: vec, bytes: m.ModelWireBytes(), floats: m.ModelWireFloats()}
 		}
 		return upload{client: id}
 	}
@@ -373,6 +459,10 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport.Message) error {
 	live := 0
 	results := make(chan upload, len(conns))
+	var barrierStart time.Time
+	if p.obsOn {
+		barrierStart = time.Now()
+	}
 	for id, conn := range conns {
 		if conn == nil {
 			continue
@@ -387,7 +477,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 
 	var members []int
-	var missed, lost, bytesIn int
+	var missed, lost, bytesIn, floatsIn int
 	vecs := make(map[int][]float64)
 	var firstErr error
 	waiting := make([]bool, len(conns))
@@ -432,7 +522,12 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			members = append(members, u.client)
 			vecs[u.client] = u.vec
 			bytesIn += u.bytes
+			floatsIn += u.floats
 		}
+	}
+	var barrierWait time.Duration
+	if p.obsOn {
+		barrierWait = time.Since(barrierStart)
 	}
 	if firstErr != nil {
 		return firstErr
@@ -465,10 +560,15 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.stats.UploadsMissed += missed
 	p.stats.ClientsLost += lost
 	p.stats.BytesIn += bytesIn
-	for _, k := range members {
-		p.stats.FloatsIn += len(vecs[k])
-	}
+	p.stats.FloatsIn += floatsIn
 	p.mu.Unlock()
+	p.om.rounds.Inc()
+	p.om.uploadsRecv.Add(int64(len(members)))
+	p.om.uploadsMissed.Add(int64(missed))
+	p.om.clientsLost.Add(int64(lost))
+	p.om.bytesIn.Add(int64(bytesIn))
+	p.om.floatsIn.Add(int64(floatsIn))
+	p.om.barrierWait.ObserveDuration(barrierWait)
 
 	// Dissemination, with Byzantine tampering where configured. The
 	// history records honest aggregates only (adaptive adversary
@@ -486,13 +586,19 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 		consistentTampered = p.cfg.Attack.Tamper(ctx)
 	}
 
-	type sendErr struct {
+	// Each send reports its outcome with the message it carried, and
+	// the wire totals are tallied AFTER the barrier from successful
+	// sends only. Counting before conn.Send completes — as this code
+	// once did — inflates BytesOut/FloatsOut on failed sends, and
+	// deriving FloatsOut from sent*len(agg) miscounts both equivocated
+	// downlinks (per-client vectors) and codec-shrunk frames.
+	type sendResult struct {
 		client int
+		msg    *transport.Message
 		err    error
 	}
 	var wg sync.WaitGroup
-	errs := make(chan sendErr, len(conns))
-	sent, bytesOut := 0, 0
+	outcomes := make(chan sendResult, len(conns))
 	for id, conn := range conns {
 		if conn == nil {
 			continue
@@ -526,36 +632,74 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			enc, payload := p.cfg.DownlinkCodec.AppendEncode(nil, out)
 			msg.Enc, msg.Payload, msg.Vec = enc, payload, nil
 		}
-		sent++
-		bytesOut += msg.ModelWireBytes()
 		wg.Add(1)
 		go func(id int, conn *transport.Conn, msg *transport.Message) {
 			defer wg.Done()
-			if err := conn.Send(msg); err != nil {
-				errs <- sendErr{client: id, err: err}
-			}
+			outcomes <- sendResult{client: id, msg: msg, err: conn.Send(msg)}
 		}(id, conn, msg)
 	}
 	wg.Wait()
-	close(errs)
+	close(outcomes)
 
+	sent, bytesOut, floatsOut := 0, 0, 0
+	var sendErrs []sendResult
+	for r := range outcomes {
+		if r.err != nil {
+			sendErrs = append(sendErrs, r)
+			continue
+		}
+		sent++
+		bytesOut += r.msg.ModelWireBytes()
+		floatsOut += r.msg.ModelWireFloats()
+	}
 	p.mu.Lock()
-	p.stats.FloatsOut += sent * len(agg)
+	p.stats.FloatsOut += floatsOut
 	p.stats.BytesOut += bytesOut
 	p.mu.Unlock()
+	p.om.bytesOut.Add(int64(bytesOut))
+	p.om.floatsOut.Add(int64(floatsOut))
+	p.om.sendsFailed.Add(int64(len(sendErrs)))
 	p.history = append(p.history, agg)
 
-	for e := range errs {
+	sendLost := 0
+	for _, e := range sendErrs {
 		if !p.cfg.Tolerant {
 			return fmt.Errorf("node: PS %d round %d: send to client %d: %w", p.cfg.ID, round, e.client, e.err)
 		}
 		if conns[e.client] != nil {
 			_ = conns[e.client].Close()
 			conns[e.client] = nil
+			sendLost++
 			p.mu.Lock()
 			p.stats.ClientsLost++
 			p.mu.Unlock()
+			p.om.clientsLost.Inc()
 		}
+	}
+
+	if p.cfg.TraceSink != nil {
+		p.cfg.TraceSink.Emit(obs.Event{
+			Round: round,
+			Node:  fmt.Sprintf("ps%d", p.cfg.ID),
+			Name:  "ps_round",
+			Fields: map[string]float64{
+				"uploads":     float64(len(members)),
+				"missed":      float64(missed),
+				"lost":        float64(lost + sendLost),
+				"sent":        float64(sent),
+				"send_failed": float64(len(sendErrs)),
+				"bytes_in":    float64(bytesIn),
+				"bytes_out":   float64(bytesOut),
+				"barrier_ms":  barrierWait.Seconds() * 1e3,
+			},
+		})
+	}
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("ps round",
+			"ps", p.cfg.ID, "round", round,
+			"uploads", len(members), "missed", missed, "lost", lost+sendLost,
+			"bytes_in", bytesIn, "bytes_out", bytesOut,
+			"barrier_ms", barrierWait.Seconds()*1e3)
 	}
 	return nil
 }

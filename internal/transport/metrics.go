@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"errors"
+	"net"
+
+	"fedms/internal/obs"
+)
+
+// Metrics counts wire-level traffic on a Conn: frames and bytes per
+// direction, send failures, receive timeouts, frames skipped for bad
+// checksums/MACs/payloads, and straggler-deadline trims. One Metrics
+// value is shared by every Conn of a node, so the counters aggregate
+// the node's whole wire footprint under one label. All hooks are
+// no-ops on a nil *Metrics — an uninstrumented Conn pays one nil
+// check per frame.
+type Metrics struct {
+	FramesSent    *obs.Counter
+	FramesRecv    *obs.Counter
+	BytesSent     *obs.Counter
+	BytesRecv     *obs.Counter
+	SendErrors    *obs.Counter
+	RecvErrors    *obs.Counter
+	RecvTimeouts  *obs.Counter
+	BadFrames     *obs.Counter
+	DeadlineTrims *obs.Counter
+}
+
+// NewMetrics registers the transport counter family for one node
+// (label fedms_transport_*_total{node="..."}) and returns it. Returns
+// nil — the valid disabled Metrics — when reg is nil.
+func NewMetrics(reg *obs.Registry, node string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	c := func(name string) *obs.Counter {
+		return reg.Counter("fedms_transport_" + name + `_total{node="` + node + `"}`)
+	}
+	return &Metrics{
+		FramesSent:    c("frames_sent"),
+		FramesRecv:    c("frames_recv"),
+		BytesSent:     c("bytes_sent"),
+		BytesRecv:     c("bytes_recv"),
+		SendErrors:    c("send_errors"),
+		RecvErrors:    c("recv_errors"),
+		RecvTimeouts:  c("recv_timeouts"),
+		BadFrames:     c("bad_frames"),
+		DeadlineTrims: c("deadline_trims"),
+	}
+}
+
+// onSend records the outcome of one frame write of n wire bytes.
+func (m *Metrics) onSend(n int, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.SendErrors.Inc()
+		return
+	}
+	m.FramesSent.Inc()
+	m.BytesSent.Add(int64(n))
+}
+
+// onRecv records the outcome of one frame read.
+func (m *Metrics) onRecv(n int, err error) {
+	if m == nil {
+		return
+	}
+	if err == nil {
+		m.FramesRecv.Inc()
+		m.BytesRecv.Add(int64(n))
+		return
+	}
+	var ne net.Error
+	switch {
+	case errors.Is(err, ErrBadChecksum), errors.Is(err, ErrBadMAC), errors.Is(err, ErrBadPayload):
+		// The stream is still frame-aligned after these; tolerant
+		// readers skip the frame, so count it separately from hard
+		// receive failures.
+		m.BadFrames.Inc()
+	case errors.As(err, &ne) && ne.Timeout():
+		m.RecvTimeouts.Inc()
+	default:
+		m.RecvErrors.Inc()
+	}
+}
+
+// onDeadlineTrim records one straggler-deadline override.
+func (m *Metrics) onDeadlineTrim() {
+	if m == nil {
+		return
+	}
+	m.DeadlineTrims.Inc()
+}
+
+// SetMetrics attaches wire counters to the connection. Like SetKey it
+// must be called before the connection is used concurrently; a nil
+// Metrics (the default) disables instrumentation.
+func (c *Conn) SetMetrics(m *Metrics) { c.metrics = m }
+
+// wireLen reports the frame's size on the wire excluding any MAC
+// tag: header, text, model bytes and checksum.
+func (m *Message) wireLen() int {
+	if m.Payload != nil {
+		return headerLenV2 + len(m.Text) + len(m.Payload) + 4
+	}
+	return headerLen + len(m.Text) + 8*len(m.Vec) + 4
+}

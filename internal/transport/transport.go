@@ -168,6 +168,18 @@ func (m *Message) ModelWireBytes() int {
 	return 8 * len(m.Vec)
 }
 
+// ModelWireFloats reports the float64-equivalent model elements the
+// frame carries on the wire: the dense element count for v1 frames,
+// the payload size in 8-byte units (rounded up) for v2 codec frames.
+// PS accounting uses it so FloatsIn/FloatsOut reflect what actually
+// crossed the wire rather than the dense dimension.
+func (m *Message) ModelWireFloats() int {
+	if m.Payload != nil {
+		return (len(m.Payload) + 7) / 8
+	}
+	return len(m.Vec)
+}
+
 // Encode serializes the message into a fresh byte slice (frame bytes
 // including checksum).
 func Encode(m *Message) []byte {
@@ -337,9 +349,10 @@ func Decode(r io.Reader) (*Message, error) {
 // Conn wraps a net.Conn with buffered, mutex-protected, deadline-aware
 // frame I/O. Send and Recv are each safe for concurrent use.
 type Conn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	key  []byte // optional shared secret for per-frame HMAC (see SetKey)
+	conn    net.Conn
+	br      *bufio.Reader
+	key     []byte   // optional shared secret for per-frame HMAC (see SetKey)
+	metrics *Metrics // optional wire counters (see SetMetrics)
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
@@ -379,6 +392,7 @@ func (c *Conn) Send(m *Message) error {
 		frame = append(frame, seal(c.key, frame)...)
 	}
 	err := c.sendBytes(frame)
+	c.metrics.onSend(len(frame), err)
 	*bufp = frame
 	encodeBufs.Put(bufp)
 	return err
@@ -394,10 +408,24 @@ func (c *Conn) Recv() (*Message, error) {
 			return nil, err
 		}
 	}
+	var m *Message
+	var err error
 	if c.key != nil {
-		return c.recvAuthenticated()
+		m, err = c.recvAuthenticated()
+	} else {
+		m, err = Decode(c.br)
 	}
-	return Decode(c.br)
+	if c.metrics != nil {
+		n := 0
+		if err == nil {
+			n = m.wireLen()
+			if c.key != nil {
+				n += MACSize
+			}
+		}
+		c.metrics.onRecv(n, err)
+	}
+	return m, err
 }
 
 // SetRecvDeadline overrides the read deadline of an in-flight (or the
@@ -405,7 +433,10 @@ func (c *Conn) Recv() (*Message, error) {
 // blocked Read, so a peer waiting on a frame that will never arrive can
 // be cut short without closing the connection. The override lasts until
 // the next Recv call re-arms the per-frame Timeout.
-func (c *Conn) SetRecvDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+func (c *Conn) SetRecvDeadline(t time.Time) error {
+	c.metrics.onDeadlineTrim()
+	return c.conn.SetReadDeadline(t)
+}
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }
