@@ -18,11 +18,16 @@ test:
 # fail fast and by name before the full suite runs. The observability
 # contract follows for the same reason: metrics, tracing and logging
 # must never perturb a seeded run, so its violations should also fail
-# by name.
+# by name. The payload-aggregation differential tier (fused kernels vs
+# decode-then-aggregate, bit for bit, across codecs × rules × workers ×
+# degraded quorums) runs third: the fused path feeds every aggregate,
+# so its divergences should likewise fail by name under the race
+# detector before the full suite.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
 	$(GO) test -race -run 'TestObsDeterminism' ./internal/node/ ./internal/core/
+	$(GO) test -race -run 'TestPayloadAggregation' ./internal/aggregate/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.

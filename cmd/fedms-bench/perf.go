@@ -27,8 +27,10 @@ import (
 
 // BenchSchema versions the BENCH_fedms.json layout. v2 added the gemm
 // and train_step sections (local-SGD hot path); v3 added the codec
-// section (model encode/decode and bytes per frame).
-const BenchSchema = "fedms-bench/perf/v3"
+// section (model encode/decode and bytes per frame); v4 added the
+// fused_aggregate section (payload-view aggregation vs densify-first,
+// with the peak accumulator footprint per entry).
+const BenchSchema = "fedms-bench/perf/v4"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -46,6 +48,11 @@ type BenchEntry struct {
 	// FrameBytes is the encoded payload size for codec entries (0 when
 	// n/a) — the per-upload wire cost the codec buys.
 	FrameBytes int `json:"frame_bytes,omitempty"`
+	// AccBytes is the peak accumulator/scratch footprint of a
+	// fused_aggregate entry (0 when n/a): the output vector plus the
+	// per-worker gather scratch for the fused path, or the n densified
+	// input vectors plus the output for the densify-first fallback.
+	AccBytes int `json:"acc_bytes,omitempty"`
 	// Iters is how many operations the measurement averaged over.
 	Iters int `json:"iters"`
 	// NsPerOp, AllocsPerOp and BytesPerOp are per-operation averages.
@@ -76,7 +83,11 @@ type BenchReport struct {
 	Gemm       []BenchEntry `json:"gemm,omitempty"`
 	TrainStep  []BenchEntry `json:"train_step,omitempty"`
 	Codec      []BenchEntry `json:"codec,omitempty"`
-	Round      RoundBench   `json:"round"`
+	// FusedAggregate compares aggregating codec payload views directly
+	// (the fused PayloadRule path) against densify-then-aggregate over
+	// the same views, at the paper's sparse-upload operating point.
+	FusedAggregate []BenchEntry `json:"fused_aggregate,omitempty"`
+	Round          RoundBench   `json:"round"`
 }
 
 // measure averages fn over enough iterations to fill minTime, reporting
@@ -264,6 +275,63 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 			conv.TrainBatch(cx, clabels)
 			copt.Step(conv.Params(), sched.LR(0))
 		})
+	}
+
+	fmt.Fprintln(out, "Performance pass (fused payload aggregation, topk:0.01 uploads):")
+	{
+		addFused := func(name string, d, inputs, accBytes int, fn func()) {
+			iters, ns, allocs, bytes := measure(minTime, fn)
+			report.FusedAggregate = append(report.FusedAggregate, BenchEntry{
+				Name: name, Dim: d, Inputs: inputs, Workers: 1, AccBytes: accBytes,
+				Iters: iters, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
+			})
+			fmt.Fprintf(out, "  %-40s d=%-7d n=%-3d acc=%-9dB %12.0f ns/op %8.1f allocs/op\n",
+				name, d, inputs, accBytes, ns, allocs)
+		}
+		sp, err := compress.ParseSpec("topk:0.01")
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dims {
+			vecs := benchVecs(seed^0xf05ed, n, d)
+			views := make([]compress.Payload, n)
+			for i, v := range vecs {
+				c, err := sp.NewCodec(randx.Derive(seed, fmt.Sprintf("bench-fused/%d", i)))
+				if err != nil {
+					return nil, err
+				}
+				enc, buf := c.AppendEncode(nil, v)
+				view, err := compress.ParsePayload(enc, buf)
+				if err != nil {
+					return nil, err
+				}
+				views[i] = view
+			}
+			// Peak accumulator footprints: the fused mean touches one dense
+			// accumulator; the fused column-gather holds the output plus one
+			// worker's tile scratch (entry lists + column + cursors); the
+			// densify-first fallback materializes all n inputs plus the
+			// output.
+			const tile = 256
+			mean := aggregate.Mean{}
+			tm := aggregate.TrimmedMean{Beta: 0.2, Workers: 1}
+			m := tm.TrimCount(n)
+			fusedMeanAcc := 8 * d
+			fusedGatherAcc := 8*d + 8*n + 16*m + 4*tile + 12*tile*n + 8*n
+			densifyAcc := 8 * d * (n + 1)
+			addFused("fused_aggregate/mean/fused", d, n, fusedMeanAcc, func() {
+				aggregate.AggregatePayloads(mean, views)
+			})
+			addFused("fused_aggregate/mean/densify", d, n, densifyAcc, func() {
+				aggregate.AggregatePayloads(aggregate.NoFuse{Rule: mean}, views)
+			})
+			addFused("fused_aggregate/trimmed_mean/fused", d, n, fusedGatherAcc, func() {
+				aggregate.AggregatePayloads(tm, views)
+			})
+			addFused("fused_aggregate/trimmed_mean/densify", d, n, densifyAcc, func() {
+				aggregate.AggregatePayloads(aggregate.NoFuse{Rule: tm}, views)
+			})
+		}
 	}
 
 	fmt.Fprintln(out, "Performance pass (model codecs):")

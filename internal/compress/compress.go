@@ -230,18 +230,7 @@ func (q *Quantized) Dense() []float64 {
 // DenseInto implements Compressed.
 func (q *Quantized) DenseInto(dst []float64) { q.denseInto(dst) }
 
-func (q *Quantized) denseInto(dst []float64) {
-	levels := (uint64(1) << q.Bits) - 1
-	span := q.Max - q.Min
-	for i := 0; i < q.Dim; i++ {
-		code := q.code(i)
-		if levels == 0 || span == 0 {
-			dst[i] = q.Min
-			continue
-		}
-		dst[i] = q.Min + span*float64(code)/float64(levels)
-	}
-}
+func (q *Quantized) denseInto(dst []float64) { q.denseRange(dst, 0, q.Dim) }
 
 func (q *Quantized) code(i int) uint64 {
 	bitOff := i * q.Bits

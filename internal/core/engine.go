@@ -65,8 +65,12 @@ type Engine struct {
 	// upload codec is dense). Stateful: error-feedback residuals persist
 	// across rounds, exactly like the distributed clients'.
 	codecs []compress.Codec
-	// encBuf is scratch for the upload-codec roundtrip.
-	encBuf []byte
+	// encBufs[k] is client k's encode scratch. Per client, not shared:
+	// the aggregation stage holds payload views that alias these
+	// buffers until every server's aggregate is computed, so one
+	// client's encode must not clobber another's payload. Reused across
+	// rounds (a view never outlives its round).
+	encBufs [][]byte
 
 	round int
 
@@ -142,7 +146,7 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 		history:  make([][][]float64, cfg.Servers),
 		lastAgg:  lastAgg,
 		codecs:   codecs,
-		om:       newEngineMetrics(cfg.Obs),
+		om:       newEngineMetrics(cfg.Obs, cfg.ServerFilter.Name()),
 		obsOn:    cfg.Obs != nil || cfg.TraceSink != nil,
 	}, nil
 }
@@ -236,21 +240,29 @@ func (e *Engine) RunRound() RoundStats {
 
 	// The upload codec models the lossy wire: encode once per client per
 	// round (exactly like a distributed client, so error-feedback state
-	// advances identically) and aggregate the decoded reconstruction.
+	// advances identically) and hand the servers payload *views* of the
+	// encoded bytes — the same views a distributed PS parses off the
+	// wire, so fused rules aggregate straight out of the codec payloads
+	// without a per-client densify. Dense uploads wrap without copying.
 	uploadBytes := make([]int, e.cfg.Clients)
+	views := make([]compress.Payload, e.cfg.Clients)
 	if e.codecs != nil {
+		if e.encBufs == nil {
+			e.encBufs = make([][]byte, e.cfg.Clients)
+		}
 		for _, k := range active {
 			var enc compress.Encoding
-			enc, e.encBuf = e.codecs[k].AppendEncode(e.encBuf[:0], uploads[k])
-			decoded := make([]float64, e.dim)
-			if err := compress.DecodePayloadInto(decoded, enc, e.encBuf); err != nil {
-				panic(fmt.Sprintf("core: upload codec self-decode: %v", err))
+			enc, e.encBufs[k] = e.codecs[k].AppendEncode(e.encBufs[k][:0], uploads[k])
+			v, err := compress.ParsePayload(enc, e.encBufs[k])
+			if err != nil {
+				panic(fmt.Sprintf("core: upload codec self-parse: %v", err))
 			}
-			uploads[k] = decoded
-			uploadBytes[k] = len(e.encBuf)
+			views[k] = v
+			uploadBytes[k] = len(e.encBufs[k])
 		}
 	} else {
 		for _, k := range active {
+			views[k] = compress.DensePayload(uploads[k])
 			uploadBytes[k] = 8 * e.dim
 		}
 	}
@@ -258,6 +270,7 @@ func (e *Engine) RunRound() RoundStats {
 	// ---- Model aggregation stage (lines 3-4, 11) ----
 	assign := e.uploadAssignment(t, active)
 	aggs := make([][]float64, e.cfg.Servers)
+	var aggFusedN, aggFallbackN int
 	for i := 0; i < e.cfg.Servers; i++ {
 		members := assign[i]
 		if len(members) == 0 {
@@ -266,11 +279,17 @@ func (e *Engine) RunRound() RoundStats {
 			// rare under sparse upload.
 			aggs[i] = append([]float64(nil), e.lastAgg[i]...)
 		} else {
-			vecs := make([][]float64, 0, len(members))
+			ordered := make([]compress.Payload, 0, len(members))
 			for _, k := range members {
-				vecs = append(vecs, uploads[k])
+				ordered = append(ordered, views[k])
 			}
-			aggs[i] = e.cfg.ServerFilter.Aggregate(vecs)
+			var fused bool
+			aggs[i], fused = aggregate.AggregatePayloads(e.cfg.ServerFilter, ordered)
+			if fused {
+				aggFusedN++
+			} else {
+				aggFallbackN++
+			}
 		}
 		e.lastAgg[i] = aggs[i]
 		st.UploadFloats += len(members) * e.dim
@@ -348,6 +367,9 @@ func (e *Engine) RunRound() RoundStats {
 	st.Elapsed = time.Since(start)
 	if e.om != nil {
 		e.om.rounds.Inc()
+		e.om.aggFused.Add(int64(aggFusedN))
+		e.om.aggFallback.Add(int64(aggFallbackN))
+		e.om.aggDecodeBytes.Add(int64(st.UploadBytes))
 		e.om.train.ObserveDuration(tTrain)
 		e.om.upload.ObserveDuration(tUpload)
 		e.om.filter.ObserveDuration(tFilter)

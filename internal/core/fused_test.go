@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"fedms/internal/aggregate"
+	"fedms/internal/compress"
+	"fedms/internal/nn"
+)
+
+// TestEngineFusedOffParity runs the same seeded codec federation twice
+// — once on the fused payload-aggregation path and once with both
+// rules wrapped in NoFuse, forcing the densify-first fallback — and
+// demands identical round stats and bit-identical final models. This
+// is the engine-side arm of the fused-vs-fallback chaos regression in
+// internal/node.
+func TestEngineFusedOffParity(t *testing.T) {
+	const k, p, rounds, seed = 6, 3, 5, 41
+	up, err := compress.ParseSpec("topk:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(filter, serverFilter aggregate.Rule) ([]RoundStats, [][]float64) {
+		learners, _ := testFixture(t, k, seed)
+		eng, err := NewEngine(Config{
+			Clients:      k,
+			Servers:      p,
+			Rounds:       rounds,
+			LocalSteps:   2,
+			Filter:       filter,
+			ServerFilter: serverFilter,
+			Schedule:     nn.ConstantLR(0.3),
+			Seed:         seed,
+			EvalEvery:    -1,
+			UploadCodec:  up,
+		}, learners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := eng.Run()
+		params := make([][]float64, k)
+		for i, l := range learners {
+			params[i] = l.Params()
+		}
+		return stats, params
+	}
+
+	filter := aggregate.TrimmedMean{Beta: 0.2}
+	serverFilter := aggregate.TrimmedMean{Beta: 0.25}
+	fusedStats, fusedParams := run(filter, serverFilter)
+	offStats, offParams := run(aggregate.NoFuse{Rule: filter}, aggregate.NoFuse{Rule: serverFilter})
+
+	for r := range fusedStats {
+		a, b := fusedStats[r], offStats[r]
+		a.Elapsed, b.Elapsed = 0, 0
+		if a != b {
+			t.Fatalf("round %d stats diverge:\nfused %+v\noff   %+v", r, fusedStats[r], offStats[r])
+		}
+	}
+	for i := range fusedParams {
+		for j := range fusedParams[i] {
+			if fusedParams[i][j] != offParams[i][j] {
+				t.Fatalf("client %d param %d: fused %v, off %v",
+					i, j, fusedParams[i][j], offParams[i][j])
+			}
+		}
+	}
+}

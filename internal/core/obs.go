@@ -3,17 +3,24 @@ package core
 import "fedms/internal/obs"
 
 // engineMetrics holds the engine's registry collectors: a round
-// counter and one latency histogram per round stage. nil when the
+// counter, one latency histogram per round stage, and the fused
+// aggregation counters (how many per-server aggregations ran the
+// fused payload path vs the densify-first fallback, and the payload
+// bytes the aggregation stage consumed, labelled by rule — the same
+// split the distributed PS exports as fedms_ps_agg_*). nil when the
 // config has no registry — the engine checks once per round.
 type engineMetrics struct {
-	rounds *obs.Counter
-	train  *obs.Histogram
-	upload *obs.Histogram
-	filter *obs.Histogram
-	eval   *obs.Histogram
+	rounds         *obs.Counter
+	aggFused       *obs.Counter
+	aggFallback    *obs.Counter
+	aggDecodeBytes *obs.Counter
+	train          *obs.Histogram
+	upload         *obs.Histogram
+	filter         *obs.Histogram
+	eval           *obs.Histogram
 }
 
-func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+func newEngineMetrics(reg *obs.Registry, rule string) *engineMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -21,10 +28,13 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		return reg.Histogram(`fedms_engine_stage_seconds{stage="`+stage+`"}`, nil)
 	}
 	return &engineMetrics{
-		rounds: reg.Counter("fedms_engine_rounds_total"),
-		train:  h("train"),
-		upload: h("upload"),
-		filter: h("filter"),
-		eval:   h("eval"),
+		rounds:         reg.Counter("fedms_engine_rounds_total"),
+		aggFused:       reg.Counter("fedms_engine_agg_fused_total"),
+		aggFallback:    reg.Counter("fedms_engine_agg_fallback_total"),
+		aggDecodeBytes: reg.Counter(`fedms_engine_agg_decode_bytes_total{rule="` + rule + `"}`),
+		train:          h("train"),
+		upload:         h("upload"),
+		filter:         h("filter"),
+		eval:           h("eval"),
 	}
 }

@@ -24,9 +24,12 @@ type chaosOpts struct {
 	k, p, rounds int
 	seed         uint64
 	filter       aggregate.Rule
-	minModels    int
-	redial       bool
-	psTolerant   bool
+	// serverRule overrides the PS aggregation rule (nil keeps the
+	// default Mean); the fused-parity tier wraps it in NoFuse.
+	serverRule aggregate.Rule
+	minModels  int
+	redial     bool
+	psTolerant bool
 	// clientFaults faults the upload direction (links "c<k>->ps<i>"),
 	// psFaults the dissemination direction ("ps<i>->c<k>").
 	clientFaults transport.FaultConfig
@@ -84,6 +87,7 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 			Clients:         o.k,
 			Rounds:          o.rounds,
 			Attack:          o.byz[i],
+			ServerRule:      o.serverRule,
 			Seed:            o.seed,
 			Timeout:         o.psTimeout,
 			Tolerant:        o.psTolerant,

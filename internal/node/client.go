@@ -172,7 +172,8 @@ func dialPS(cfg *ClientConfig, i int, addr string, hello []float64, tm *transpor
 
 // recvResult is one PS's contribution to the dissemination barrier.
 type recvResult struct {
-	vec     []float64
+	model   bool // a global model arrived; pl holds its payload view
+	pl      compress.Payload
 	bytes   int // model payload bytes on the wire
 	missing bool
 	dead    bool
@@ -224,7 +225,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 			return recvResult{dead: true,
 				err: fmt.Errorf("unexpected %s (round %d) from PS %d", m.Type, m.Round, psID)}
 		}
-		vec, err := m.ModelVec()
+		pl, err := m.ModelPayload()
 		if err != nil {
 			// A checksummed frame with a malformed codec payload can only
 			// come from a Byzantine PS; treat it like a corrupt frame.
@@ -234,7 +235,7 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 			}
 			return recvResult{dead: true, err: err}
 		}
-		return recvResult{vec: vec, bytes: m.ModelWireBytes()}
+		return recvResult{model: true, pl: pl, bytes: m.ModelWireBytes()}
 	}
 	return recvResult{missing: true, err: errors.New("too many unreadable frames")}
 }
@@ -245,6 +246,16 @@ func recvModel(conn *transport.Conn, pending **transport.Message, psID, round in
 // discards up to B Byzantine survivors — the paper's filter semantics
 // under partial participation. Other rules apply unchanged.
 func degradedTrim(f aggregate.Rule, total, got int) (aggregate.Rule, error) {
+	if nf, ok := f.(aggregate.NoFuse); ok {
+		// See through the fused-path escape hatch, then restore it: the
+		// degraded round must trim like the inner rule while still
+		// aggregating on the densify-first fallback.
+		inner, err := degradedTrim(nf.Rule, total, got)
+		if err != nil {
+			return nil, err
+		}
+		return aggregate.NoFuse{Rule: inner}, nil
+	}
 	tm, ok := f.(aggregate.TrimmedMean)
 	if !ok {
 		return f, nil
@@ -290,7 +301,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	// encBuf is reused across rounds for the encoded upload payload.
 	var encBuf []byte
 
-	cm := newClientMetrics(cfg.Obs, cfg.ID)
+	cm := newClientMetrics(cfg.Obs, cfg.ID, cfg.Filter.Name())
 	tm := transport.NewMetrics(cfg.Obs, fmt.Sprintf("c%d", cfg.ID))
 	// obsOn gates the wall-clock measurement of the dissemination wait;
 	// with observability fully disabled the protocol path never reads
@@ -445,7 +456,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			recvWait = time.Since(recvStart)
 		}
 
-		received := make(map[int][]float64, p)
+		received := make(map[int]compress.Payload, p)
 		for i := range conns {
 			if conns[i] == nil {
 				continue
@@ -462,7 +473,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			case r.missing:
 				// Keep the connection: the frame was lost, not the peer.
 			default:
-				received[i] = r.vec
+				received[i] = r.pl
 				st.DownloadBytes += r.bytes
 			}
 		}
@@ -478,10 +489,14 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 
 		// Model filter: trmean over the P' ≤ P received models, in
 		// ascending server order (bitwise engine parity when P' = P).
-		models := make([][]float64, 0, got)
+		// The filter consumes the payload views directly — sparse or
+		// quantized downlinks are never densified per model; the fused
+		// kernels gather coordinates out of the views (bit-identical to
+		// decode-then-aggregate, see aggregate.PayloadRule).
+		models := make([]compress.Payload, 0, got)
 		for i := 0; i < p; i++ {
-			if vec, ok := received[i]; ok {
-				models = append(models, vec)
+			if pl, ok := received[i]; ok {
+				models = append(models, pl)
 			}
 		}
 		rule := cfg.Filter
@@ -491,12 +506,18 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				return stats, fmt.Errorf("node: client %d round %d: %w", cfg.ID, round, err)
 			}
 		}
-		filtered := rule.Aggregate(models)
+		filtered, filterFused := aggregate.AggregatePayloads(rule, models)
 		cfg.Learner.SetParams(filtered)
 		st.ModelsReceived = got
 		st.Degraded = got < p
 		if cfg.OnRound != nil {
-			cfg.OnRound(round, received, filtered)
+			// Observers see dense vectors; densify only when someone is
+			// actually watching.
+			dense := make(map[int][]float64, got)
+			for i, pl := range received {
+				dense[i] = pl.DenseView()
+			}
+			cfg.OnRound(round, dense, filtered)
 		}
 
 		if cfg.EvalEvery > 0 && (round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1) {
@@ -513,6 +534,12 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 		}
 		cm.uploadBytes.Add(int64(st.UploadBytes))
 		cm.downloadBytes.Add(int64(st.DownloadBytes))
+		if filterFused {
+			cm.filterFused.Inc()
+		} else {
+			cm.filterFallback.Inc()
+		}
+		cm.filterDecodeBytes.Add(int64(st.DownloadBytes))
 		cm.recvWait.ObserveDuration(recvWait)
 		if cfg.TraceSink != nil {
 			degraded := 0.0

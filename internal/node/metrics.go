@@ -12,21 +12,28 @@ import (
 // every collector is nil and every update is a no-op branch, so call
 // sites never guard.
 type psMetrics struct {
-	rounds        *obs.Counter
-	uploadsRecv   *obs.Counter
-	uploadsMissed *obs.Counter
-	clientsLost   *obs.Counter
-	badAccepts    *obs.Counter
-	framesSkipped *obs.Counter
-	sendsFailed   *obs.Counter
-	bytesIn       *obs.Counter
-	bytesOut      *obs.Counter
-	floatsIn      *obs.Counter
-	floatsOut     *obs.Counter
-	barrierWait   *obs.Histogram
+	rounds         *obs.Counter
+	uploadsRecv    *obs.Counter
+	uploadsMissed  *obs.Counter
+	clientsLost    *obs.Counter
+	badAccepts     *obs.Counter
+	framesSkipped  *obs.Counter
+	sendsFailed    *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	floatsIn       *obs.Counter
+	floatsOut      *obs.Counter
+	aggFused       *obs.Counter
+	aggFallback    *obs.Counter
+	aggDecodeBytes *obs.Counter
+	barrierWait    *obs.Histogram
 }
 
-func newPSMetrics(reg *obs.Registry, id int) *psMetrics {
+// newPSMetrics takes the aggregation rule's name so the decode-bytes
+// counter carries a per-rule label: aggregate decode volume is a
+// property of the (server, rule) pair, and dashboards comparing fused
+// rules against densify-first fallbacks need the split.
+func newPSMetrics(reg *obs.Registry, id int, rule string) *psMetrics {
 	l := `{ps="` + strconv.Itoa(id) + `"}`
 	c := func(name string) *obs.Counter { return reg.Counter("fedms_ps_" + name + "_total" + l) }
 	return &psMetrics{
@@ -41,25 +48,35 @@ func newPSMetrics(reg *obs.Registry, id int) *psMetrics {
 		bytesOut:      c("bytes_out"),
 		floatsIn:      c("floats_in"),
 		floatsOut:     c("floats_out"),
-		barrierWait:   reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
+		aggFused:      c("agg_fused"),
+		aggFallback:   c("agg_fallback"),
+		aggDecodeBytes: reg.Counter(
+			`fedms_ps_agg_decode_bytes_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
+		barrierWait: reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
 	}
 }
 
 // clientMetrics is the client-side counterpart of psMetrics.
 type clientMetrics struct {
-	rounds         *obs.Counter
-	degraded       *obs.Counter
-	modelsRecv     *obs.Counter
-	modelsMissed   *obs.Counter
-	redialAttempts *obs.Counter
-	redialsOK      *obs.Counter
-	uploadBytes    *obs.Counter
-	downloadBytes  *obs.Counter
-	framesSkipped  *obs.Counter
-	recvWait       *obs.Histogram
+	rounds            *obs.Counter
+	degraded          *obs.Counter
+	modelsRecv        *obs.Counter
+	modelsMissed      *obs.Counter
+	redialAttempts    *obs.Counter
+	redialsOK         *obs.Counter
+	uploadBytes       *obs.Counter
+	downloadBytes     *obs.Counter
+	framesSkipped     *obs.Counter
+	filterFused       *obs.Counter
+	filterFallback    *obs.Counter
+	filterDecodeBytes *obs.Counter
+	recvWait          *obs.Histogram
 }
 
-func newClientMetrics(reg *obs.Registry, id int) *clientMetrics {
+// newClientMetrics takes the client filter rule's name for the same
+// reason newPSMetrics takes the server rule's: the decode-bytes
+// counter is labelled per rule.
+func newClientMetrics(reg *obs.Registry, id int, rule string) *clientMetrics {
 	l := `{client="` + strconv.Itoa(id) + `"}`
 	c := func(name string) *obs.Counter { return reg.Counter("fedms_client_" + name + "_total" + l) }
 	return &clientMetrics{
@@ -72,6 +89,10 @@ func newClientMetrics(reg *obs.Registry, id int) *clientMetrics {
 		uploadBytes:    c("upload_bytes"),
 		downloadBytes:  c("download_bytes"),
 		framesSkipped:  c("frames_skipped"),
-		recvWait:       reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
+		filterFused:    c("filter_fused"),
+		filterFallback: c("filter_fallback"),
+		filterDecodeBytes: reg.Counter(
+			`fedms_client_filter_decode_bytes_total{client="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
+		recvWait: reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
 	}
 }

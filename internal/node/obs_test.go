@@ -30,7 +30,7 @@ func TestPSDisseminationAccountingFailedSends(t *testing.T) {
 		Timeout:    2 * time.Second,
 		ServerRule: aggregate.Mean{},
 	}}
-	p.om = newPSMetrics(nil, 0)
+	p.om = newPSMetrics(nil, 0, "mean")
 	p.v2ok = make([]bool, 2)
 
 	srv0, cli0 := net.Pipe()

@@ -213,7 +213,7 @@ func NewPS(cfg PSConfig) (*PS, error) {
 		return nil, fmt.Errorf("node: PS %d listen: %w", cfg.ID, err)
 	}
 	p := &PS{cfg: cfg, ln: ln}
-	p.om = newPSMetrics(cfg.Obs, cfg.ID)
+	p.om = newPSMetrics(cfg.Obs, cfg.ID, cfg.ServerRule.Name())
 	p.tm = transport.NewMetrics(cfg.Obs, fmt.Sprintf("ps%d", cfg.ID))
 	p.obsOn = cfg.Obs != nil || cfg.TraceSink != nil || cfg.Logger != nil
 	return p, nil
@@ -376,7 +376,10 @@ func (p *PS) badAccept(conn *transport.Conn, badAccepts *int, cause error) error
 // upload is one client's contribution to a round barrier.
 type upload struct {
 	client int
-	vec    []float64
+	// model marks a slot that carried a real model; pl is its validated
+	// payload view (never densified here — aggregation consumes views).
+	model  bool
+	pl     compress.Payload
 	bytes  int // model payload bytes on the wire
 	floats int // float64-equivalent wire elements (ModelWireFloats)
 	// missed marks a slot whose frame never arrived (timeout or too
@@ -435,7 +438,7 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 				err: fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)}
 		}
 		if m.Flag == 1 {
-			vec, err := m.ModelVec()
+			pl, err := m.ModelPayload()
 			if err != nil {
 				// The frame checksummed, so a malformed codec payload is
 				// a sender lying on the wire, not line noise. Tolerant
@@ -448,7 +451,7 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 				}
 				return upload{client: id, dead: true, err: err}
 			}
-			return upload{client: id, vec: vec, bytes: m.ModelWireBytes(), floats: m.ModelWireFloats()}
+			return upload{client: id, model: true, pl: pl, bytes: m.ModelWireBytes(), floats: m.ModelWireFloats()}
 		}
 		return upload{client: id}
 	}
@@ -478,7 +481,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 
 	var members []int
 	var missed, lost, bytesIn, floatsIn int
-	vecs := make(map[int][]float64)
+	views := make(map[int]compress.Payload)
 	var firstErr error
 	waiting := make([]bool, len(conns))
 	for id, conn := range conns {
@@ -518,9 +521,9 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			missed++
 		case u.missed:
 			missed++
-		case u.vec != nil:
+		case u.model:
 			members = append(members, u.client)
-			vecs[u.client] = u.vec
+			views[u.client] = u.pl
 			bytesIn += u.bytes
 			floatsIn += u.floats
 		}
@@ -534,24 +537,31 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 
 	// Aggregate in ascending client order — the same input order as
-	// the in-process engine, for bitwise parity.
+	// the in-process engine, for bitwise parity. The rule consumes the
+	// payload views directly: a fused rule never densifies the codec
+	// uploads, a rule without a payload kernel falls back to
+	// densify-first inside AggregatePayloads (bit-identical either way;
+	// see the aggregate.PayloadRule contract).
 	sort.Ints(members)
 	var agg []float64
+	aggFused := false
 	if len(members) == 0 {
 		if p.lastAgg == nil {
 			return fmt.Errorf("node: PS %d round %d: no uploads and no previous aggregate", p.cfg.ID, round)
 		}
 		agg = append([]float64(nil), p.lastAgg...)
 	} else {
-		dim := len(vecs[members[0]])
-		ordered := make([][]float64, 0, len(members))
+		first := views[members[0]]
+		dim := first.Dim()
+		ordered := make([]compress.Payload, 0, len(members))
 		for _, k := range members {
-			if len(vecs[k]) != dim {
+			v := views[k]
+			if v.Dim() != dim {
 				return fmt.Errorf("node: PS %d round %d: dimension mismatch from client %d", p.cfg.ID, round, k)
 			}
-			ordered = append(ordered, vecs[k])
+			ordered = append(ordered, v)
 		}
-		agg = p.cfg.ServerRule.Aggregate(ordered)
+		agg, aggFused = aggregate.AggregatePayloads(p.cfg.ServerRule, ordered)
 	}
 	p.mu.Lock()
 	p.lastAgg = agg
@@ -568,6 +578,14 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.om.clientsLost.Add(int64(lost))
 	p.om.bytesIn.Add(int64(bytesIn))
 	p.om.floatsIn.Add(int64(floatsIn))
+	if len(members) > 0 {
+		if aggFused {
+			p.om.aggFused.Inc()
+		} else {
+			p.om.aggFallback.Inc()
+		}
+		p.om.aggDecodeBytes.Add(int64(bytesIn))
+	}
 	p.om.barrierWait.ObserveDuration(barrierWait)
 
 	// Dissemination, with Byzantine tampering where configured. The

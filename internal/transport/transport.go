@@ -159,6 +159,26 @@ func (m *Message) ModelVec() ([]float64, error) {
 	return v, nil
 }
 
+// ModelPayload returns a structured no-densify view of the model the
+// frame carries: a compress.DensePayload wrapper around Vec for v1
+// frames, a parsed compress.Payload for v2 frames. It accepts and
+// rejects exactly the payloads ModelVec does — validation failures
+// wrap ErrBadPayload, so tolerant readers degrade a malformed payload
+// the same way on both paths — but skips the dense materialization,
+// feeding the fused aggregation rules directly. The view aliases the
+// message's buffers; callers must not mutate the message while the
+// view is live.
+func (m *Message) ModelPayload() (compress.Payload, error) {
+	if m.Payload == nil {
+		return compress.DensePayload(m.Vec), nil
+	}
+	p, err := compress.ParsePayload(m.Enc, m.Payload)
+	if err != nil {
+		return compress.Payload{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return p, nil
+}
+
 // ModelWireBytes reports the bytes the model occupied on the wire
 // (dense vectors count 8 per coordinate, v2 frames their payload size).
 func (m *Message) ModelWireBytes() int {
