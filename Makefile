@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos trace fuzz bench bench-diff
+.PHONY: build test verify race chaos trace fuzz bench bench-diff defense
 
 build:
 	$(GO) build ./...
@@ -22,12 +22,17 @@ test:
 # decode-then-aggregate, bit for bit, across codecs × rules × workers ×
 # degraded quorums) runs third: the fused path feeds every aggregate,
 # so its divergences should likewise fail by name under the race
-# detector before the full suite.
+# detector before the full suite. The loss-oracle tier runs fourth:
+# the oracle dispatch (loss rules, degraded quorums, engine vs
+# distributed parity) is the newest aggregation surface, and its
+# contract violations should fail by name too.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
 	$(GO) test -race -run 'TestObsDeterminism' ./internal/node/ ./internal/core/
 	$(GO) test -race -run 'TestPayloadAggregation' ./internal/aggregate/
+	$(GO) test -race -run 'TestLossRule|TestKrumFamilyPartialParticipation' ./internal/aggregate/
+	$(GO) test -race -run 'TestDistributedMatchesEngineLoss' ./internal/node/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.
@@ -56,6 +61,12 @@ fuzz:
 # EXPERIMENTS.md "Performance"). Run on an otherwise idle machine.
 bench:
 	$(GO) run ./cmd/fedms-bench -exp perf -benchout BENCH_fedms.json
+
+# Defense-matrix smoke: the rules × attacks table at -quick scale,
+# written to defense_matrix.txt — CI uploads it as a build artifact so
+# every run leaves a browsable copy of the loss-rule acceptance story.
+defense:
+	$(GO) run ./cmd/fedms-bench -exp defense -quick | tee defense_matrix.txt
 
 # Perf regression gate: re-run the perf pass and compare the aggregate
 # and train_step sections against the committed trajectory, failing on

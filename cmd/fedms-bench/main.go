@@ -12,6 +12,7 @@
 //	fedms-bench -exp commcost           # sparse vs full upload traffic
 //	fedms-bench -exp codec              # upload-codec bytes vs accuracy
 //	fedms-bench -exp ablation           # filter + upload ablations
+//	fedms-bench -exp defense            # rules x attacks defense matrix
 //	fedms-bench -exp all                # everything
 //	fedms-bench -exp perf               # perf pass -> BENCH_fedms.json
 //
@@ -43,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedms-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|codec|ablation|stats|sweep|perf|all")
+		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|codec|ablation|defense|stats|sweep|perf|all")
 		attack   = fs.String("attack", "", "restrict fig2 to one attack (noise|random|safeguard|backward)")
 		quick    = fs.Bool("quick", false, "shrink rounds and dataset for a fast smoke pass")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
@@ -230,6 +231,18 @@ func run(args []string) error {
 		}
 	}
 
+	if want("defense") {
+		res, err := experiments.DefenseMatrix(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Defense matrix: final accuracy, rules x server attacks (eps=20%; codecpoison under topk:0.25):")
+		if err := experiments.WriteDefenseMatrix(out, res); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
 	if want("sweep") {
 		res, err := experiments.BetaEpsilonSweep(opts)
 		if err != nil {
@@ -299,7 +312,7 @@ func rounded(vals []float64) []string {
 }
 
 func anyKnown(exp string) bool {
-	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation stats sweep perf"
+	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation defense stats sweep perf"
 	for _, k := range strings.Fields(known) {
 		if exp == k {
 			return true

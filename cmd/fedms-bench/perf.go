@@ -29,8 +29,10 @@ import (
 // and train_step sections (local-SGD hot path); v3 added the codec
 // section (model encode/decode and bytes per frame); v4 added the
 // fused_aggregate section (payload-view aggregation vs densify-first,
-// with the peak accumulator footprint per entry).
-const BenchSchema = "fedms-bench/perf/v4"
+// with the peak accumulator footprint per entry); v5 added the
+// loss_rule section (FedGreed/LossCluster through the oracle dispatch
+// vs their geometry-only fallback).
+const BenchSchema = "fedms-bench/perf/v5"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -87,7 +89,13 @@ type BenchReport struct {
 	// (the fused PayloadRule path) against densify-then-aggregate over
 	// the same views, at the paper's sparse-upload operating point.
 	FusedAggregate []BenchEntry `json:"fused_aggregate,omitempty"`
-	Round          RoundBench   `json:"round"`
+	// LossRule measures the loss-oracle defenses: FedGreed and
+	// LossCluster through AggregateWithOracle with a synthetic O(d)
+	// oracle (so the numbers track the rules' own ordering and
+	// prefix-averaging cost, not model forward passes), and their
+	// geometry-only fallback when no oracle is configured.
+	LossRule []BenchEntry `json:"loss_rule,omitempty"`
+	Round    RoundBench   `json:"round"`
 }
 
 // measure averages fn over enough iterations to fill minTime, reporting
@@ -331,6 +339,33 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 			addFused("fused_aggregate/trimmed_mean/densify", d, n, densifyAcc, func() {
 				aggregate.AggregatePayloads(aggregate.NoFuse{Rule: tm}, views)
 			})
+		}
+	}
+
+	fmt.Fprintln(out, "Performance pass (loss-oracle rules, synthetic O(d) oracle):")
+	{
+		for _, d := range dims {
+			vecs := benchVecs(seed^0x105e, n, d)
+			// Synthetic oracle: squared distance to a fixed target. Cheap
+			// and deterministic, so the entries measure the rules' own
+			// ordering, prefix-averaging and dispatch overhead.
+			target := benchVecs(seed^0x7a26e7, 1, d)[0]
+			eval := func(m []float64) float64 {
+				s := 0.0
+				for i, v := range m {
+					dv := v - target[i]
+					s += dv * dv
+				}
+				return s
+			}
+			for _, lr := range []aggregate.Rule{aggregate.FedGreed{}, aggregate.LossCluster{}} {
+				add(&report.LossRule, "loss_rule/"+lr.Name()+"/oracle", d, n, 1, func() {
+					aggregate.AggregateWithOracle(lr, vecs, eval)
+				})
+				add(&report.LossRule, "loss_rule/"+lr.Name()+"/fallback", d, n, 1, func() {
+					aggregate.AggregateWithOracle(lr, vecs, nil)
+				})
+			}
 		}
 	}
 

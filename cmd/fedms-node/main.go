@@ -63,6 +63,8 @@ type options struct {
 	clientAtk  string
 	byzClients int
 	serverBeta float64
+	filterSpec string
+	serverSpec string
 	fullUpload bool
 	lr         float64
 	alpha      float64
@@ -86,6 +88,15 @@ type options struct {
 	// resolved once in run() so every role shares the validation.
 	upSpec   compress.Spec
 	downSpec compress.Spec
+
+	// filterRule and serverRuleObj are the parsed forms of filterSpec
+	// and serverSpec (or the beta-derived defaults when the specs are
+	// empty), resolved once in run() like the codec specs. oracle is
+	// the shared holdout-loss oracle, non-nil only when one of the
+	// rules implements aggregate.LossRule.
+	filterRule    aggregate.Rule
+	serverRuleObj aggregate.Rule
+	oracle        fedms.LossEval
 
 	metricsAddr string
 	tracePath   string
@@ -117,6 +128,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.clientAtk, "client-attack", "", "Byzantine client upload attack (upload_signflip|upload_noise|upload_random|upload_scaled)")
 	fs.IntVar(&o.byzClients, "byzantine-clients", 0, "number of Byzantine clients")
 	fs.Float64Var(&o.serverBeta, "server-beta", 0, "benign servers' trim rate over client uploads (0 = plain mean)")
+	fs.StringVar(&o.filterSpec, "filter", "", "client filter rule spec ("+aggregate.RuleGrammar+"); empty = trimmed mean at -beta")
+	fs.StringVar(&o.serverSpec, "server-rule", "", "benign servers' aggregation rule spec (same grammar); empty = mean or trimmed mean at -server-beta")
 	fs.BoolVar(&o.fullUpload, "full-upload", false, "upload every client's model to every PS (required for robust server rules)")
 	fs.Float64Var(&o.lr, "lr", 0.1, "constant learning rate")
 	fs.Float64Var(&o.alpha, "alpha", 10, "Dirichlet D_alpha (<=0 for IID)")
@@ -207,6 +220,12 @@ func run(args []string) error {
 	}
 	if o.downSpec.EF {
 		return fmt.Errorf("-downlink-codec %q: error feedback is per-stream state and cannot be used on the broadcast downlink; drop the ef+ prefix", o.downCodec)
+	}
+	// Rule specs go through the same pre-socket validation as codecs:
+	// an unknown rule name fails fast here instead of leaving a
+	// half-started federation behind.
+	if err := o.resolveRules(); err != nil {
+		return err
 	}
 	st, err := o.setupObs()
 	if err != nil {
@@ -355,7 +374,6 @@ func (o *options) byzantineIDs() ([]int, error) {
 	return cfg.ByzantineIDs, nil
 }
 
-// serverRule is the aggregation rule benign PSs apply to uploads.
 // authKey returns the configured HMAC key, or nil when disabled.
 func (o *options) authKey() []byte {
 	if o.key == "" {
@@ -364,11 +382,51 @@ func (o *options) authKey() []byte {
 	return []byte(o.key)
 }
 
-func (o *options) serverRule() aggregate.Rule {
-	if o.serverBeta > 0 {
-		return aggregate.TrimmedMean{Beta: o.serverBeta}
+// resolveRules parses -filter and -server-rule through the shared
+// aggregate registry, falling back to the historical beta-derived
+// defaults when the specs are empty, and builds the holdout-loss
+// oracle when either rule needs one. Called from run() before any
+// socket opens so a typo fails with a usage message.
+func (o *options) resolveRules() error {
+	var err error
+	if o.filterSpec != "" {
+		if o.filterRule, err = aggregate.ParseRule(o.filterSpec); err != nil {
+			return fmt.Errorf("-filter: %w", err)
+		}
+	} else {
+		o.filterRule = o.defaultFilter()
 	}
-	return aggregate.Mean{}
+	if o.serverSpec != "" {
+		if o.serverRuleObj, err = aggregate.ParseRule(o.serverSpec); err != nil {
+			return fmt.Errorf("-server-rule: %w", err)
+		}
+	} else if o.serverBeta > 0 {
+		o.serverRuleObj = aggregate.TrimmedMean{Beta: o.serverBeta}
+	} else {
+		o.serverRuleObj = aggregate.Mean{}
+	}
+	_, filterLoss := o.filterRule.(aggregate.LossRule)
+	_, serverLoss := o.serverRuleObj.(aggregate.LossRule)
+	if filterLoss || serverLoss {
+		// All nodes derive the oracle from the shared federation flags,
+		// so every process scores candidates bit-identically.
+		if o.oracle, err = fedms.NewHoldoutOracle(o.fedmsConfig()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serverRule is the aggregation rule benign PSs apply to uploads,
+// resolved by resolveRules.
+func (o *options) serverRule() aggregate.Rule {
+	if o.serverRuleObj == nil {
+		// Direct callers (tests) that skipped run(): resolve lazily.
+		if err := o.resolveRules(); err != nil {
+			panic(err)
+		}
+	}
+	return o.serverRuleObj
 }
 
 // clientUploadAttack returns client id's upload attack, or nil if the
@@ -414,7 +472,9 @@ func (o *options) downlinkCodec(id int) compress.Codec {
 	return c
 }
 
-func (o *options) filter() fedms.Rule {
+// defaultFilter is the historical -beta-derived client filter, used
+// when no -filter spec is given.
+func (o *options) defaultFilter() aggregate.Rule {
 	if o.beta < 0 {
 		return aggregate.Mean{}
 	}
@@ -425,9 +485,20 @@ func (o *options) filter() fedms.Rule {
 	return aggregate.TrimmedMean{Beta: beta}
 }
 
-// learner builds client id's learner from the shared configuration.
-func (o *options) learner(id int) (core.Learner, error) {
-	eng, err := fedms.BuildEngine(fedms.Config{
+// filter is the client-side filter rule, resolved by resolveRules.
+func (o *options) filter() fedms.Rule {
+	if o.filterRule == nil {
+		if err := o.resolveRules(); err != nil {
+			panic(err)
+		}
+	}
+	return o.filterRule
+}
+
+// fedmsConfig is the shared engine configuration every node derives
+// its learner (and, for loss rules, its holdout oracle) from.
+func (o *options) fedmsConfig() fedms.Config {
+	return fedms.Config{
 		Clients:      o.clients,
 		Servers:      o.servers,
 		NumByzantine: o.byzantine,
@@ -438,7 +509,12 @@ func (o *options) learner(id int) (core.Learner, error) {
 		Dataset:      fedms.DatasetSpec{Samples: o.samples, Alpha: o.alpha, Noise: 2.0},
 		Seed:         o.seed,
 		EvalEvery:    -1,
-	})
+	}
+}
+
+// learner builds client id's learner from the shared configuration.
+func (o *options) learner(id int) (core.Learner, error) {
+	eng, err := fedms.BuildEngine(o.fedmsConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -465,6 +541,7 @@ func runPS(o *options, st *obsState) error {
 		Rounds:          o.rounds,
 		Attack:          atk,
 		ServerRule:      o.serverRule(),
+		LossOracle:      o.oracle,
 		DownlinkCodec:   o.downlinkCodec(o.id),
 		Seed:            o.seed,
 		Key:             o.authKey(),
@@ -511,6 +588,7 @@ func runClientRole(o *options, st *obsState) error {
 		LocalSteps:            o.localSteps,
 		UploadAttack:          ua,
 		Filter:                o.filter(),
+		LossOracle:            o.oracle,
 		Schedule:              nn.ConstantLR(o.lr),
 		Codec:                 o.clientCodec(o.id),
 		AcceptEncodedDownlink: !o.downSpec.IsDense(),
@@ -572,6 +650,7 @@ func runLocal(o *options, st *obsState) error {
 			Rounds:          o.rounds,
 			Attack:          byz[i],
 			ServerRule:      o.serverRule(),
+			LossOracle:      o.oracle,
 			DownlinkCodec:   o.downlinkCodec(i),
 			Seed:            o.seed,
 			Key:             o.authKey(),
@@ -635,6 +714,7 @@ func runLocal(o *options, st *obsState) error {
 				FullUpload:            o.fullUpload,
 				UploadAttack:          ua,
 				Filter:                o.filter(),
+				LossOracle:            o.oracle,
 				Schedule:              nn.ConstantLR(o.lr),
 				Codec:                 o.clientCodec(id),
 				AcceptEncodedDownlink: !o.downSpec.IsDense(),

@@ -184,3 +184,45 @@ func TestNodeCodecFlagsParsed(t *testing.T) {
 		t.Fatalf("raw specs not captured: %+v", o)
 	}
 }
+
+func TestNodeRejectsBadRuleSpecs(t *testing.T) {
+	// Rule specs get the same pre-socket validation as codec specs: a
+	// typo must fail at flag resolution, never mid-federation.
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown filter", []string{"-filter", "bogus"}, "-filter"},
+		{"filter bad param", []string{"-filter", "trim:0.9"}, "-filter"},
+		{"filter excess args", []string{"-filter", "fedgreed:1"}, "-filter"},
+		{"unknown server rule", []string{"-server-rule", "nope"}, "-server-rule"},
+		{"server rule bad param", []string{"-server-rule", "clip:-1"}, "-server-rule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-role", "local", "-clients", "2", "-servers", "2", "-rounds", "1"}, tc.args...)
+			err := run(args)
+			if err == nil {
+				t.Fatalf("%v accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNodeLocalLossRuleFederation(t *testing.T) {
+	// End-to-end local federation with a loss-oracle filter: run()
+	// must auto-build the holdout oracle from the shared seed and the
+	// federation must complete.
+	err := run([]string{
+		"-role", "local", "-clients", "4", "-servers", "3", "-byzantine", "1",
+		"-attack", "noise", "-filter", "fedgreed", "-server-rule", "losscluster",
+		"-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,7 +40,9 @@ func run(args []string) error {
 		localSteps = fs.Int("steps", 3, "local SGD iterations per round E")
 		batch      = fs.Int("batch", 32, "mini-batch size")
 		beta       = fs.Float64("beta", 0, "trim rate (0 = B/P, negative = vanilla mean)")
-		attackName = fs.String("attack", "none", "attack: none|noise|random|safeguard|backward|signflip|zero|alie|ipm")
+		filterSpec = fs.String("filter", "", "client filter rule spec (mean|trim:b|median|krum|multikrum|bulyan|geomedian|clip|fedgreed|losscluster); overrides -beta")
+		serverSpec = fs.String("server-rule", "", "benign servers' aggregation rule spec (same grammar; empty = mean)")
+		attackName = fs.String("attack", "none", "attack: none|noise|random|safeguard|backward|signflip|zero|alie|ipm|codecpoison")
 		lr         = fs.Float64("lr", 0.1, "constant learning rate")
 		alpha      = fs.Float64("alpha", 10, "Dirichlet D_alpha (<=0 for IID split)")
 		dataset    = fs.String("dataset", "blobs", "dataset: blobs|synthimage|cifar10|mnist")
@@ -65,6 +67,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Rule specs fail fast with the flag name, like the codec specs.
+	if *filterSpec != "" {
+		if _, err := fedms.ParseRule(*filterSpec); err != nil {
+			return fmt.Errorf("-filter: %w", err)
+		}
+	}
+	if *serverSpec != "" {
+		if _, err := fedms.ParseRule(*serverSpec); err != nil {
+			return fmt.Errorf("-server-rule: %w", err)
+		}
+	}
 	up := fedms.SparseUpload
 	switch *upload {
 	case "sparse":
@@ -83,6 +96,8 @@ func run(args []string) error {
 		LocalSteps:   *localSteps,
 		BatchSize:    *batch,
 		TrimBeta:     *beta,
+		FilterRule:   *filterSpec,
+		ServerRule:   *serverSpec,
 		Upload:       up,
 		Attack:       atk,
 		LearningRate: *lr,

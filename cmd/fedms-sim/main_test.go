@@ -99,3 +99,28 @@ func TestRunVanillaMode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunRejectsBadRuleSpecs(t *testing.T) {
+	if err := run([]string{"-filter", "bogus", "-rounds", "1"}); err == nil {
+		t.Fatal("unknown -filter spec must error")
+	}
+	if err := run([]string{"-filter", "trim:0.7", "-rounds", "1"}); err == nil {
+		t.Fatal("out-of-range -filter parameter must error")
+	}
+	if err := run([]string{"-server-rule", "nonsense", "-rounds", "1"}); err == nil {
+		t.Fatal("unknown -server-rule spec must error")
+	}
+}
+
+func TestRunWithLossRuleFilter(t *testing.T) {
+	// -filter fedgreed resolves through the registry and auto-builds
+	// the holdout oracle inside fedms.Run.
+	err := run([]string{
+		"-clients", "4", "-servers", "3", "-byzantine", "1",
+		"-rounds", "2", "-eval", "2", "-samples", "600",
+		"-attack", "noise", "-filter", "fedgreed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,9 @@ type (
 	ALIEAttack = attack.ALIE
 	// IPMAttack is the inner-product-manipulation colluding attack.
 	IPMAttack = attack.IPM
+	// CodecPoisonAttack is the codec-aware sparse-index poisoning
+	// attack (ALIE-style shift on the top-k coordinate support).
+	CodecPoisonAttack = attack.CodecPoison
 
 	// UploadAttack is a Byzantine *client* behaviour (the two-sided
 	// threat model the paper lists as future work).
@@ -88,6 +91,21 @@ type (
 	KrumRule = aggregate.Krum
 	// GeoMedianRule is the Weiszfeld geometric-median baseline.
 	GeoMedianRule = aggregate.GeoMedian
+	// MultiKrumRule averages the best-scored Krum selections.
+	MultiKrumRule = aggregate.MultiKrum
+	// BulyanRule is the two-stage Krum + trimmed-median defence.
+	BulyanRule = aggregate.Bulyan
+	// ClippingRule is iterative centered clipping.
+	ClippingRule = aggregate.CenteredClipping
+	// FedGreedRule is the greedy lowest-holdout-loss prefix average
+	// (needs a loss oracle; falls back to the coordinate median).
+	FedGreedRule = aggregate.FedGreed
+	// LossClusterRule is the two-cluster holdout-loss split (needs a
+	// loss oracle; falls back to the coordinate median).
+	LossClusterRule = aggregate.LossCluster
+	// LossEval is a holdout-loss oracle: a deterministic pure function
+	// scoring a candidate model vector (see NewHoldoutOracle).
+	LossEval = aggregate.LossEval
 
 	// Engine is the synchronized Fed-MS round engine.
 	Engine = core.Engine
@@ -221,8 +239,15 @@ type Config struct {
 	// vanilla mean filter (the paper's "Vanilla FL" baseline). Zero
 	// defaults to B/P (the Fed-MS rule).
 	TrimBeta float64
-	// Filter, when non-nil, overrides TrimBeta with an arbitrary rule
-	// (median, Krum, ...).
+	// FilterRule selects the client-side filter by registry spec —
+	// "trim:0.2", "krum:2", "fedgreed", ... (see aggregate.ParseRule
+	// for the grammar). It overrides TrimBeta; the Filter field
+	// overrides both. Selecting a loss-based rule (fedgreed,
+	// losscluster) makes BuildEngine construct a holdout-loss oracle
+	// automatically (see HoldoutSamples).
+	FilterRule string
+	// Filter, when non-nil, overrides TrimBeta and FilterRule with an
+	// arbitrary rule (median, Krum, ...).
 	Filter Rule
 	// Upload defaults to SparseUpload.
 	Upload UploadStrategy
@@ -240,6 +265,18 @@ type Config struct {
 	ByzantineClientIDs  []int
 	ClientAttack        UploadAttack
 	ServerFilter        Rule
+	// ServerRule selects the servers' aggregation rule by registry
+	// spec, like FilterRule does for the client filter; the
+	// ServerFilter field overrides it.
+	ServerRule string
+	// HoldoutSamples sizes the server-held holdout split backing the
+	// loss oracle: the first HoldoutSamples examples of the test
+	// split, deterministically per Seed (default 256, clamped to the
+	// test set). Only consulted when a loss-based rule is selected.
+	HoldoutSamples int
+	// LossOracle overrides the automatically built holdout oracle
+	// (see core.Config.LossOracle for the contract).
+	LossOracle LossEval
 	// LearningRate is a constant LR (default 0.1); Schedule overrides.
 	LearningRate float64
 	Schedule     Schedule
@@ -373,6 +410,12 @@ func BuildEngine(cfg Config) (*Engine, error) {
 	}
 
 	filter := cfg.Filter
+	if filter == nil && cfg.FilterRule != "" {
+		filter, err = aggregate.ParseRule(cfg.FilterRule)
+		if err != nil {
+			return nil, fmt.Errorf("fedms: FilterRule: %w", err)
+		}
+	}
 	if filter == nil {
 		if cfg.TrimBeta < 0 {
 			filter = MeanRule{}
@@ -382,6 +425,26 @@ func BuildEngine(cfg Config) (*Engine, error) {
 				beta = float64(cfg.NumByzantine) / float64(cfg.Servers)
 			}
 			filter = TrimmedMean{Beta: beta}
+		}
+	}
+	serverFilter := cfg.ServerFilter
+	if serverFilter == nil && cfg.ServerRule != "" {
+		serverFilter, err = aggregate.ParseRule(cfg.ServerRule)
+		if err != nil {
+			return nil, fmt.Errorf("fedms: ServerRule: %w", err)
+		}
+	}
+	// A loss-based rule without an oracle would silently run its
+	// geometry fallback; build the holdout oracle whenever one is
+	// needed and not explicitly supplied. The holdout split and model
+	// instance derive from Seed alone, so the engine and the
+	// distributed nodes (NewHoldoutOracle from the same Config) score
+	// identically — bit-parity holds through the oracle path.
+	oracle := cfg.LossOracle
+	if oracle == nil && (isLossRule(filter) || isLossRule(serverFilter)) {
+		oracle, err = newHoldoutOracle(test, cfg)
+		if err != nil {
+			return nil, err
 		}
 	}
 	sched := cfg.Schedule
@@ -406,7 +469,8 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		NumByzantineClients: cfg.NumByzantineClients,
 		ByzantineClientIDs:  cfg.ByzantineClientIDs,
 		ClientAttack:        cfg.ClientAttack,
-		ServerFilter:        cfg.ServerFilter,
+		ServerFilter:        serverFilter,
+		LossOracle:          oracle,
 		Rounds:              cfg.Rounds,
 		LocalSteps:          cfg.LocalSteps,
 		Upload:              cfg.Upload,

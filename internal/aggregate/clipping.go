@@ -17,7 +17,9 @@ import (
 // honest cluster while still averaging fine-grained information.
 type CenteredClipping struct {
 	// Tau is the clipping radius (default: median distance of the
-	// inputs to the anchor, re-estimated per call).
+	// inputs to the initial anchor, re-estimated once per call — the
+	// radius is a property of the input set, not of the moving
+	// iterate).
 	Tau float64
 	// Iters is the number of clipping iterations (default 3).
 	Iters int
@@ -41,17 +43,22 @@ func (c CenteredClipping) Aggregate(vecs [][]float64) []float64 {
 	// Robust anchor: coordinate-wise median.
 	v := CoordinateMedian{}.Aggregate(vecs)
 
+	// Per-call auto radius, measured against the initial anchor.
+	// Re-estimating inside the iteration loop against the moving
+	// iterate (the pre-fix behavior) let the radius shrink as v moved
+	// toward a cluster, over-weighting whichever side it drifted to
+	// first — and contradicted the documented semantics.
+	tau := c.Tau
+	if tau <= 0 {
+		tau = medianDistance(vecs, v)
+		if tau == 0 {
+			// All inputs coincide with the anchor; done.
+			return v
+		}
+	}
 	resid := make([]float64, d)
 	step := make([]float64, d)
 	for it := 0; it < iters; it++ {
-		tau := c.Tau
-		if tau <= 0 {
-			tau = medianDistance(vecs, v)
-			if tau == 0 {
-				// All inputs coincide with the anchor; done.
-				return v
-			}
-		}
 		for i := range step {
 			step[i] = 0
 		}

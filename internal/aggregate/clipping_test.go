@@ -67,6 +67,75 @@ func TestCenteredClippingBoundedInfluence(t *testing.T) {
 	}
 }
 
+// TestCenteredClippingPinnedAutoTau is the regression test for the
+// doc/behavior mismatch fixed in this change: the auto radius must be
+// measured ONCE per call against the initial median anchor, not
+// re-estimated against the moving iterate each iteration. We rebuild
+// both semantics by hand and require the rule to match the pinned one
+// bitwise — and to differ from the re-measured one on an asymmetric
+// input set, proving the test can tell them apart.
+func TestCenteredClippingPinnedAutoTau(t *testing.T) {
+	// Asymmetric clusters so the iterate drifts and a re-measured
+	// radius would shrink with it.
+	r := randx.New(9)
+	vecs := randomVecs(r, 7, 4)
+	for j := range vecs[0] {
+		vecs[0][j] += 40 // one far benign-ish straggler
+		vecs[1][j] -= 15
+	}
+	const iters = 3
+
+	step := func(v []float64, tau float64) []float64 {
+		next := append([]float64(nil), v...)
+		delta := make([]float64, len(v))
+		for _, x := range vecs {
+			resid := append([]float64(nil), x...)
+			tensor.VecSub(resid, v)
+			norm := tensor.VecNorm2(resid)
+			scale := 1.0
+			if norm > tau {
+				scale = tau / norm
+			}
+			tensor.VecAxpy(delta, scale/float64(len(vecs)), resid)
+		}
+		tensor.VecAdd(next, delta)
+		return next
+	}
+
+	anchor := CoordinateMedian{}.Aggregate(vecs)
+	tau := medianDistance(vecs, anchor)
+
+	pinned := append([]float64(nil), anchor...)
+	remeasured := append([]float64(nil), anchor...)
+	for it := 0; it < iters; it++ {
+		pinned = step(pinned, tau)
+		remeasured = step(remeasured, medianDistance(vecs, remeasured))
+	}
+
+	got := CenteredClipping{}.Aggregate(vecs)
+	for j := range got {
+		if math.Float64bits(got[j]) != math.Float64bits(pinned[j]) {
+			t.Fatalf("coord %d: rule %v != pinned-tau reference %v", j, got[j], pinned[j])
+		}
+	}
+	if tensor.VecDist2(pinned, remeasured) < 1e-9 {
+		t.Fatal("fixture too symmetric: pinned and re-measured tau agree, regression test has no power")
+	}
+}
+
+// TestCenteredClippingCoincidentInputs: when every input equals the
+// anchor the auto radius is zero and the rule must return the anchor
+// immediately rather than divide by a zero norm.
+func TestCenteredClippingCoincidentInputs(t *testing.T) {
+	v := []float64{2, -1, 0.5}
+	got := CenteredClipping{}.Aggregate([][]float64{v, v, v})
+	for j := range v {
+		if got[j] != v[j] {
+			t.Fatalf("coincident inputs: got %v", got)
+		}
+	}
+}
+
 func TestCenteredClippingEndToEnd(t *testing.T) {
 	// Usable as a Fed-MS client filter: same contract as other rules.
 	r := randx.New(4)

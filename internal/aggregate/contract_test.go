@@ -22,6 +22,11 @@ func allRules() []Rule {
 		Bulyan{F: 1},
 		GeoMedian{},
 		CenteredClipping{},
+		// Loss rules run their geometry-only fallback here (no oracle
+		// through the plain Rule interface); the oracle path has its own
+		// contract tests in loss_test.go.
+		FedGreed{},
+		LossCluster{},
 	}
 }
 

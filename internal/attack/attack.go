@@ -254,8 +254,8 @@ func (Zero) Tamper(ctx *Context) []float64 {
 }
 
 // ByName returns the attack registered under the given name with default
-// parameters; it powers the CLI tools. Known names: none, noise, random,
-// safeguard, backward, signflip, zero, alie, ipm.
+// parameters; it powers the CLI tools. Names lists every registered
+// name; ByName and Names must stay in lockstep (round-trip tested).
 func ByName(name string) (Attack, error) {
 	switch name {
 	case "none":
@@ -276,8 +276,19 @@ func ByName(name string) (Attack, error) {
 		return ALIE{}, nil
 	case "ipm":
 		return IPM{}, nil
+	case "codecpoison":
+		return CodecPoison{}, nil
 	default:
 		return nil, fmt.Errorf("attack: unknown attack %q", name)
+	}
+}
+
+// Names lists every name ByName accepts, in registration order — the
+// CLI usage strings and the registry round-trip test consume it.
+func Names() []string {
+	return []string{
+		"none", "noise", "random", "safeguard", "backward",
+		"signflip", "zero", "alie", "ipm", "codecpoison",
 	}
 }
 
@@ -295,4 +306,7 @@ var (
 	_ Attack = Backward{}
 	_ Attack = SignFlip{}
 	_ Attack = Zero{}
+	_ Attack = ALIE{}
+	_ Attack = IPM{}
+	_ Attack = CodecPoison{}
 )

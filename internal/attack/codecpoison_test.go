@@ -1,0 +1,184 @@
+package attack
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAttackNamesRoundTrip: Names() and ByName must stay in lockstep —
+// every listed name resolves, resolves to a distinct attack whose
+// Name() starts with the registered name, and nothing unlisted
+// resolves. This is the satellite fix for the roster drift where ALIE
+// and IPM existed but were absent from the assertion block.
+func TestAttackNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Errorf("duplicate name %q in Names()", name)
+		}
+		seen[name] = true
+		atk, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		// Parameterized attacks report their defaults in Name(), e.g.
+		// "alie(z=auto)" — the registered name must be its prefix.
+		if !strings.HasPrefix(atk.Name(), name) {
+			t.Errorf("ByName(%q).Name() = %q, want prefix %q", name, atk.Name(), name)
+		}
+	}
+	if _, err := ByName("nosuchattack"); err == nil {
+		t.Error("ByName accepted an unregistered attack")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Error("ByName accepted the empty name")
+	}
+}
+
+// codecCtx builds a colluding context with a controlled benign spread:
+// three benign aggregates whose mean and per-coordinate std are easy
+// to compute by hand.
+func codecCtx(d int) (*Context, []float64, []float64) {
+	base := make([]float64, d)
+	for i := range base {
+		// Descending magnitudes with alternating signs, so the top-k
+		// support by |mean| is exactly the first k indices.
+		base[i] = float64(d-i) * float64(1-2*(i%2))
+	}
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range base {
+		lo[i] = base[i] - 1
+		hi[i] = base[i] + 1
+	}
+	benign := [][]float64{lo, base, hi}
+	mean := append([]float64(nil), base...)
+	std := make([]float64, d)
+	for i := range std {
+		std[i] = math.Sqrt(2.0 / 3.0) // std of {-1, 0, +1} offsets
+	}
+	return collCtx(base, benign, nil), mean, std
+}
+
+// TestCodecPoisonTargetsTopKSupport: exactly ceil(ratio*d) of the
+// highest-|mean| coordinates are shifted by z*std toward zero; every
+// other coordinate passes the benign mean through unchanged.
+func TestCodecPoisonTargetsTopKSupport(t *testing.T) {
+	const d = 40
+	ctx, mean, std := codecCtx(d)
+	atk := CodecPoison{Z: 2, Ratio: 0.1}
+	out := atk.Tamper(ctx)
+
+	k := int(math.Ceil(0.1 * d))
+	for i := 0; i < d; i++ {
+		want := mean[i]
+		if i < k { // top-k by |mean| is the first k indices by construction
+			s := 1.0
+			if mean[i] < 0 {
+				s = -1
+			}
+			want = mean[i] - 2*std[i]*s
+		}
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("coord %d: got %v want %v (k=%d)", i, out[i], want, k)
+		}
+	}
+}
+
+// TestCodecPoisonStaysWithinSpread: on-support values must remain an
+// ALIE-style within-spread shift — bounded by z standard deviations
+// from the benign mean — so per-coordinate trimming cannot flag them
+// as outliers the way it does a naive spike attack.
+func TestCodecPoisonStaysWithinSpread(t *testing.T) {
+	ctx, mean, std := codecCtx(24)
+	atk := CodecPoison{} // defaults z=1.5, ratio=0.05
+	out := atk.Tamper(ctx)
+	for i := range out {
+		if dev := math.Abs(out[i] - mean[i]); dev > 1.5*std[i]+1e-12 {
+			t.Fatalf("coord %d deviates %v > z*std = %v", i, dev, 1.5*std[i])
+		}
+	}
+}
+
+// TestCodecPoisonDefaults: the zero value must use z=1.5, ratio=0.05
+// and advertise them in Name().
+func TestCodecPoisonDefaults(t *testing.T) {
+	atk := CodecPoison{}
+	if got := atk.Name(); got != "codecpoison(z=1.5,ratio=0.05)" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if atk.Equivocates() {
+		t.Fatal("codecpoison must be non-equivocating (one tampered model for all clients)")
+	}
+	// ratio=0.05 of d=40 coordinates -> k = ceil(2) = 2 shifted.
+	ctx, mean, _ := codecCtx(40)
+	out := atk.Tamper(ctx)
+	shifted := 0
+	for i := range out {
+		if out[i] != mean[i] {
+			shifted++
+		}
+	}
+	if shifted != 2 {
+		t.Fatalf("default ratio shifted %d coords of 40, want 2", shifted)
+	}
+}
+
+// TestCodecPoisonDistributedFallback: with no collusion channel
+// (BenignAggs empty) benignStats yields (own aggregate, zero std), so
+// the attack must disseminate the true aggregate unchanged — honest,
+// exactly like ALIE in the distributed runtime.
+func TestCodecPoisonDistributedFallback(t *testing.T) {
+	agg := []float64{3, -1, 4, -1, 5}
+	out := CodecPoison{}.Tamper(collCtx(agg, nil, nil))
+	for i := range agg {
+		if out[i] != agg[i] {
+			t.Fatalf("fallback tampered coord %d: %v != %v", i, out[i], agg[i])
+		}
+	}
+}
+
+// TestCodecPoisonDoesNotMutateContext: Tamper must build a fresh
+// vector; the true aggregate and the colluding views are shared state.
+func TestCodecPoisonDoesNotMutateContext(t *testing.T) {
+	ctx, _, _ := codecCtx(16)
+	snapAgg := append([]float64(nil), ctx.TrueAgg...)
+	snapBenign := make([][]float64, len(ctx.BenignAggs))
+	for i, v := range ctx.BenignAggs {
+		snapBenign[i] = append([]float64(nil), v...)
+	}
+	out := CodecPoison{}.Tamper(ctx)
+	for i := range out {
+		out[i] = 1e30
+	}
+	for i := range snapAgg {
+		if ctx.TrueAgg[i] != snapAgg[i] {
+			t.Fatal("Tamper mutated TrueAgg")
+		}
+	}
+	for i := range snapBenign {
+		for j := range snapBenign[i] {
+			if ctx.BenignAggs[i][j] != snapBenign[i][j] {
+				t.Fatal("Tamper mutated BenignAggs")
+			}
+		}
+	}
+}
+
+// TestCodecPoisonTinyModel: ratio*d < 1 still poisons one coordinate
+// (k clamps to [1, d]).
+func TestCodecPoisonTinyModel(t *testing.T) {
+	ctx, mean, _ := codecCtx(3)
+	out := CodecPoison{Ratio: 0.01}.Tamper(ctx)
+	shifted := 0
+	for i := range out {
+		if out[i] != mean[i] {
+			shifted++
+		}
+	}
+	if shifted != 1 {
+		t.Fatalf("shifted %d coords, want exactly 1", shifted)
+	}
+}

@@ -111,8 +111,3 @@ func benignStats(ctx *Context) (mean, std []float64) {
 	}
 	return mean, std
 }
-
-var (
-	_ Attack = ALIE{}
-	_ Attack = IPM{}
-)

@@ -100,6 +100,16 @@ type Config struct {
 	// (Mean, the default); a robust rule here defends against
 	// Byzantine clients.
 	ServerFilter aggregate.Rule
+	// LossOracle scores a candidate model on a server-held holdout
+	// split. When set and Filter or ServerFilter implements
+	// aggregate.LossRule (FedGreed, LossCluster), aggregation routes
+	// through the oracle; otherwise the loss rules run their
+	// geometry-only fallback. The oracle must be a deterministic pure
+	// function of the model vector — it never mutates model or
+	// training state — and may be called concurrently from the
+	// parallel filter stage (the engine serializes calls internally).
+	// Calls are counted in Obs (fedms_engine_oracle_evals_total).
+	LossOracle aggregate.LossEval
 	// Seed is the root seed; every random choice in the run derives
 	// from it.
 	Seed uint64

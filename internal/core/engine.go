@@ -72,6 +72,13 @@ type Engine struct {
 	// rounds (a view never outlives its round).
 	encBufs [][]byte
 
+	// oracle is the holdout-loss eval handed to LossRule dispatch — a
+	// mutex-serialized wrapper of cfg.LossOracle, because the filter
+	// stage calls it from the concurrent per-client pool. The eval is
+	// a pure function, so serialization order cannot change any
+	// result. nil when no oracle is configured.
+	oracle aggregate.LossEval
+
 	round int
 
 	// om mirrors round progress into the configured registry; obsOn
@@ -139,6 +146,16 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 			codecs[k] = c
 		}
 	}
+	var oracle aggregate.LossEval
+	if cfg.LossOracle != nil {
+		inner := cfg.LossOracle
+		var mu sync.Mutex
+		oracle = func(m []float64) float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return inner(m)
+		}
+	}
 	return &Engine{
 		cfg:      cfg,
 		learners: learners,
@@ -146,6 +163,7 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 		history:  make([][][]float64, cfg.Servers),
 		lastAgg:  lastAgg,
 		codecs:   codecs,
+		oracle:   oracle,
 		om:       newEngineMetrics(cfg.Obs, cfg.ServerFilter.Name()),
 		obsOn:    cfg.Obs != nil || cfg.TraceSink != nil,
 	}, nil
@@ -270,7 +288,7 @@ func (e *Engine) RunRound() RoundStats {
 	// ---- Model aggregation stage (lines 3-4, 11) ----
 	assign := e.uploadAssignment(t, active)
 	aggs := make([][]float64, e.cfg.Servers)
-	var aggFusedN, aggFallbackN int
+	var aggFusedN, aggFallbackN, oracleServerN int
 	for i := 0; i < e.cfg.Servers; i++ {
 		members := assign[i]
 		if len(members) == 0 {
@@ -284,12 +302,14 @@ func (e *Engine) RunRound() RoundStats {
 				ordered = append(ordered, views[k])
 			}
 			var fused bool
-			aggs[i], fused = aggregate.AggregatePayloads(e.cfg.ServerFilter, ordered)
+			var evals int
+			aggs[i], fused, evals = aggregate.AggregatePayloadsWithOracle(e.cfg.ServerFilter, ordered, e.oracle)
 			if fused {
 				aggFusedN++
 			} else {
 				aggFallbackN++
 			}
+			oracleServerN += evals
 		}
 		e.lastAgg[i] = aggs[i]
 		st.UploadFloats += len(members) * e.dim
@@ -314,6 +334,7 @@ func (e *Engine) RunRound() RoundStats {
 	downlinkCodec := !e.cfg.DownlinkCodec.IsDense()
 	spreads := make([]float64, e.cfg.Clients)
 	downBytes := make([]int, e.cfg.Clients)
+	oracleFilterN := make([]int, e.cfg.Clients)
 	e.forEachClient(e.cfg.Clients, func(k int) {
 		received := disseminated(k)
 		if downlinkCodec {
@@ -332,7 +353,8 @@ func (e *Engine) RunRound() RoundStats {
 		} else {
 			downBytes[k] = 8 * e.cfg.Servers * e.dim
 		}
-		filtered := e.cfg.Filter.Aggregate(received)
+		filtered, evals := aggregate.AggregateWithOracle(e.cfg.Filter, received, e.oracle)
+		oracleFilterN[k] = evals
 		e.learners[k].SetParams(filtered)
 		spreads[k] = tensor.VecDist2(filtered, benignMean)
 	})
@@ -370,6 +392,12 @@ func (e *Engine) RunRound() RoundStats {
 		e.om.aggFused.Add(int64(aggFusedN))
 		e.om.aggFallback.Add(int64(aggFallbackN))
 		e.om.aggDecodeBytes.Add(int64(st.UploadBytes))
+		e.om.oracleServer.Add(int64(oracleServerN))
+		var filterEvals int64
+		for _, n := range oracleFilterN {
+			filterEvals += int64(n)
+		}
+		e.om.oracleFilter.Add(filterEvals)
 		e.om.train.ObserveDuration(tTrain)
 		e.om.upload.ObserveDuration(tUpload)
 		e.om.filter.ObserveDuration(tFilter)

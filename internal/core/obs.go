@@ -14,10 +14,17 @@ type engineMetrics struct {
 	aggFused       *obs.Counter
 	aggFallback    *obs.Counter
 	aggDecodeBytes *obs.Counter
-	train          *obs.Histogram
-	upload         *obs.Histogram
-	filter         *obs.Histogram
-	eval           *obs.Histogram
+	// oracleServer / oracleFilter count holdout-loss oracle
+	// evaluations at the two dispatch sites (server aggregation vs
+	// the client-side filter). Zero unless a LossRule and a
+	// LossOracle are both configured — part of the oracle contract:
+	// every eval is observable.
+	oracleServer *obs.Counter
+	oracleFilter *obs.Counter
+	train        *obs.Histogram
+	upload       *obs.Histogram
+	filter       *obs.Histogram
+	eval         *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry, rule string) *engineMetrics {
@@ -32,6 +39,8 @@ func newEngineMetrics(reg *obs.Registry, rule string) *engineMetrics {
 		aggFused:       reg.Counter("fedms_engine_agg_fused_total"),
 		aggFallback:    reg.Counter("fedms_engine_agg_fallback_total"),
 		aggDecodeBytes: reg.Counter(`fedms_engine_agg_decode_bytes_total{rule="` + rule + `"}`),
+		oracleServer:   reg.Counter(`fedms_engine_oracle_evals_total{site="server"}`),
+		oracleFilter:   reg.Counter(`fedms_engine_oracle_evals_total{site="filter"}`),
 		train:          h("train"),
 		upload:         h("upload"),
 		filter:         h("filter"),

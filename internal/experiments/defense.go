@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedms"
+	"fedms/internal/attack"
+)
+
+// DefenseResult is the rules × attacks final-accuracy matrix produced
+// by DefenseMatrix. Acc[i][j] is the final test accuracy of Rules[i]
+// defending against Attacks[j].
+type DefenseResult struct {
+	Rules   []string
+	Attacks []string
+	Acc     [][]float64
+}
+
+// Cell returns the final accuracy for (rule, attack), or NaN-free 0 if
+// either name is absent. Tests use it to express win conditions
+// without caring about row/column order.
+func (r *DefenseResult) Cell(rule, atk string) (float64, bool) {
+	for i, rn := range r.Rules {
+		if rn != rule {
+			continue
+		}
+		for j, an := range r.Attacks {
+			if an == atk {
+				return r.Acc[i][j], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DefenseMatrix runs the defense-roster experiment: every aggregation
+// rule in the registry roster (geometry-only baselines plus the
+// loss-oracle rules FedGreed and LossCluster) against every server
+// attack in the matrix, at the paper's ε = 20% Byzantine share. The
+// loss rules resolve through Config.FilterRule, so BuildEngine
+// auto-constructs the holdout-loss oracle exactly as the CLIs do.
+//
+// The codecpoison column runs under a top-k upload codec: the attack
+// plants its shift on the high-magnitude support that sparsification
+// preserves, so pairing it with a sparse codec is the setting it is
+// designed for.
+//
+// Everything derives from o.Seed, so the matrix is bit-reproducible.
+func DefenseMatrix(o Options) (*DefenseResult, error) {
+	o = o.withDefaults()
+	b := o.Servers / 5 // ε = 20%
+	res := &DefenseResult{
+		Rules: []string{
+			"mean",
+			"trim:0.2",
+			"median",
+			fmt.Sprintf("krum:%d", b),
+			"fedgreed",
+			"losscluster",
+		},
+		Attacks: []string{"none", "alie", "ipm", "codecpoison"},
+	}
+	res.Acc = make([][]float64, len(res.Rules))
+	for i, rule := range res.Rules {
+		res.Acc[i] = make([]float64, len(res.Attacks))
+		for j, atkName := range res.Attacks {
+			atk, err := attack.ByName(atkName)
+			if err != nil {
+				return nil, err
+			}
+			cfg := baseConfig(o, 10)
+			cfg.NumByzantine = b
+			cfg.Attack = atk
+			cfg.FilterRule = rule
+			if atkName == "codecpoison" {
+				cfg.UploadCodec = "topk:0.25"
+			}
+			run, err := fedms.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: defense %s/%s: %w", rule, atkName, err)
+			}
+			res.Acc[i][j] = run.FinalAccuracy()
+		}
+	}
+	return res, nil
+}
+
+// WriteDefenseMatrix renders the matrix as a fixed-width text table
+// (fedms-bench output) — one row per rule, one column per attack.
+func WriteDefenseMatrix(w io.Writer, r *DefenseResult) error {
+	if _, err := fmt.Fprintf(w, "%-14s", "rule\\attack"); err != nil {
+		return err
+	}
+	for _, a := range r.Attacks {
+		if _, err := fmt.Fprintf(w, "  %11s", a); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, rule := range r.Rules {
+		if _, err := fmt.Fprintf(w, "%-14s", rule); err != nil {
+			return err
+		}
+		for j := range r.Attacks {
+			if _, err := fmt.Fprintf(w, "  %11.4f", r.Acc[i][j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

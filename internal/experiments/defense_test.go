@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny shrinks the defense matrix below even smoke scale: 24 cells of
+// 3-round runs keeps the test in CI budget.
+func tiny() Options {
+	return Options{Rounds: 3, Clients: 10, Servers: 5, Samples: 1200, EvalEvery: 3, Seed: 1}
+}
+
+func TestDefenseMatrixShape(t *testing.T) {
+	res, err := DefenseMatrix(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 || len(res.Attacks) == 0 {
+		t.Fatal("empty roster")
+	}
+	if len(res.Acc) != len(res.Rules) {
+		t.Fatalf("Acc rows = %d, want %d", len(res.Acc), len(res.Rules))
+	}
+	for i, row := range res.Acc {
+		if len(row) != len(res.Attacks) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(res.Attacks))
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("cell (%s, %s) = %v out of [0, 1]", res.Rules[i], res.Attacks[j], v)
+			}
+		}
+	}
+	// The roster must include both loss rules and the trimmed-mean
+	// baseline they are compared against, and the attack set the
+	// acceptance story names.
+	for _, rule := range []string{"trim:0.2", "fedgreed", "losscluster"} {
+		if _, ok := res.Cell(rule, "none"); !ok {
+			t.Fatalf("roster missing rule %q", rule)
+		}
+	}
+	for _, atk := range []string{"none", "alie", "ipm", "codecpoison"} {
+		if _, ok := res.Cell("fedgreed", atk); !ok {
+			t.Fatalf("matrix missing attack %q", atk)
+		}
+	}
+	if _, ok := res.Cell("nosuchrule", "none"); ok {
+		t.Fatal("Cell resolved an absent rule")
+	}
+}
+
+func TestDefenseMatrixDeterministic(t *testing.T) {
+	a, err := DefenseMatrix(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefenseMatrix(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Acc {
+		for j := range a.Acc[i] {
+			if a.Acc[i][j] != b.Acc[i][j] {
+				t.Fatalf("cell (%s, %s) differs across identical runs: %v vs %v",
+					a.Rules[i], a.Attacks[j], a.Acc[i][j], b.Acc[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteDefenseMatrix(t *testing.T) {
+	res := &DefenseResult{
+		Rules:   []string{"mean", "fedgreed"},
+		Attacks: []string{"none", "alie"},
+		Acc:     [][]float64{{0.9, 0.2}, {0.9, 0.85}},
+	}
+	var sb strings.Builder
+	if err := WriteDefenseMatrix(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rule\\attack", "fedgreed", "alie", "0.8500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows", lines)
+	}
+}

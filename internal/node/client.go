@@ -38,6 +38,12 @@ type ClientConfig struct {
 	UploadAttack attack.UploadAttack
 	// Filter is the client-side defence (TrimmedMean for Fed-MS).
 	Filter aggregate.Rule
+	// LossOracle scores a candidate model on a holdout split shared
+	// with the servers; when set and Filter implements
+	// aggregate.LossRule, the model filter routes through it (see
+	// core.Config.LossOracle for the contract). Evals are counted in
+	// Obs (fedms_client_oracle_evals_total).
+	LossOracle aggregate.LossEval
 	// Schedule is the learning-rate schedule.
 	Schedule nn.Schedule
 	// Seed is the shared experiment seed (drives the upload choice).
@@ -506,7 +512,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				return stats, fmt.Errorf("node: client %d round %d: %w", cfg.ID, round, err)
 			}
 		}
-		filtered, filterFused := aggregate.AggregatePayloads(rule, models)
+		filtered, filterFused, oracleEvals := aggregate.AggregatePayloadsWithOracle(rule, models, cfg.LossOracle)
 		cfg.Learner.SetParams(filtered)
 		st.ModelsReceived = got
 		st.Degraded = got < p
@@ -540,6 +546,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			cm.filterFallback.Inc()
 		}
 		cm.filterDecodeBytes.Add(int64(st.DownloadBytes))
+		cm.oracleEvals.Add(int64(oracleEvals))
 		cm.recvWait.ObserveDuration(recvWait)
 		if cfg.TraceSink != nil {
 			degraded := 0.0

@@ -26,6 +26,7 @@ type psMetrics struct {
 	aggFused       *obs.Counter
 	aggFallback    *obs.Counter
 	aggDecodeBytes *obs.Counter
+	oracleEvals    *obs.Counter
 	barrierWait    *obs.Histogram
 }
 
@@ -52,6 +53,8 @@ func newPSMetrics(reg *obs.Registry, id int, rule string) *psMetrics {
 		aggFallback:   c("agg_fallback"),
 		aggDecodeBytes: reg.Counter(
 			`fedms_ps_agg_decode_bytes_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
+		oracleEvals: reg.Counter(
+			`fedms_ps_oracle_evals_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		barrierWait: reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
 	}
 }
@@ -70,6 +73,7 @@ type clientMetrics struct {
 	filterFused       *obs.Counter
 	filterFallback    *obs.Counter
 	filterDecodeBytes *obs.Counter
+	oracleEvals       *obs.Counter
 	recvWait          *obs.Histogram
 }
 
@@ -93,6 +97,8 @@ func newClientMetrics(reg *obs.Registry, id int, rule string) *clientMetrics {
 		filterFallback: c("filter_fallback"),
 		filterDecodeBytes: reg.Counter(
 			`fedms_client_filter_decode_bytes_total{client="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
+		oracleEvals: reg.Counter(
+			`fedms_client_oracle_evals_total{client="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		recvWait: reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
 	}
 }

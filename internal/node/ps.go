@@ -85,6 +85,12 @@ type PSConfig struct {
 	// (default Mean, the paper's benign-PS behaviour; a robust rule
 	// defends against Byzantine clients).
 	ServerRule aggregate.Rule
+	// LossOracle scores a candidate model on a server-held holdout
+	// split; when set and ServerRule implements aggregate.LossRule,
+	// aggregation routes through it (see core.Config.LossOracle for
+	// the contract: deterministic, pure, never mutates the model).
+	// Oracle evals are counted in Obs (fedms_ps_oracle_evals_total).
+	LossOracle aggregate.LossEval
 	// Seed is the shared experiment seed (drives attack RNG streams).
 	Seed uint64
 	// Key, when non-empty, enables per-frame HMAC authentication; all
@@ -545,6 +551,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	sort.Ints(members)
 	var agg []float64
 	aggFused := false
+	oracleEvals := 0
 	if len(members) == 0 {
 		if p.lastAgg == nil {
 			return fmt.Errorf("node: PS %d round %d: no uploads and no previous aggregate", p.cfg.ID, round)
@@ -561,7 +568,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			}
 			ordered = append(ordered, v)
 		}
-		agg, aggFused = aggregate.AggregatePayloads(p.cfg.ServerRule, ordered)
+		agg, aggFused, oracleEvals = aggregate.AggregatePayloadsWithOracle(p.cfg.ServerRule, ordered, p.cfg.LossOracle)
 	}
 	p.mu.Lock()
 	p.lastAgg = agg
@@ -585,6 +592,7 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			p.om.aggFallback.Inc()
 		}
 		p.om.aggDecodeBytes.Add(int64(bytesIn))
+		p.om.oracleEvals.Add(int64(oracleEvals))
 	}
 	p.om.barrierWait.ObserveDuration(barrierWait)
 
