@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos trace fuzz bench bench-diff defense
+.PHONY: build test verify race chaos trace fuzz bench bench-diff defense scale
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,12 @@ test:
 # detector before the full suite. The loss-oracle tier runs fourth:
 # the oracle dispatch (loss rules, degraded quorums, engine vs
 # distributed parity) is the newest aggregation surface, and its
-# contract violations should fail by name too.
+# contract violations should fail by name too. The sharded-aggregation
+# differential tier runs fifth: the two-tier shard tree must stay
+# bit-identical to the unsharded rules (every registry rule × shard
+# count × workers × degraded quorum × payload codec), and its streaming
+# accumulators are the most concurrent code in the tree, so they run by
+# name under the race detector before the full suite.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
@@ -33,6 +38,8 @@ verify:
 	$(GO) test -race -run 'TestPayloadAggregation' ./internal/aggregate/
 	$(GO) test -race -run 'TestLossRule|TestKrumFamilyPartialParticipation' ./internal/aggregate/
 	$(GO) test -race -run 'TestDistributedMatchesEngineLoss' ./internal/node/
+	$(GO) test -race -run 'TestShardedAggregation' ./internal/aggregate/
+	$(GO) test -race -run 'TestDistributedShardedMatchesEngine|TestDistributedParticipationMatchesEngine' ./internal/node/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.
@@ -75,3 +82,10 @@ defense:
 # only on an otherwise idle machine; CI runs it as a non-blocking step.
 bench-diff:
 	$(GO) run ./cmd/fedms-bench -exp perf -benchout BENCH_check.json -diffbase BENCH_fedms.json
+
+# Scale curve: rounds/sec vs K through the two-tier shard tree, out to
+# K = 100k simulated clients plus a distributed smoke point, written to
+# scale_curve.json (see EXPERIMENTS.md "Scale") — CI uploads it as a
+# build artifact. Run on an otherwise idle machine.
+scale:
+	$(GO) run ./cmd/fedms-bench -exp scale -scaleout scale_curve.json

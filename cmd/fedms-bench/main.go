@@ -56,6 +56,7 @@ func run(args []string) error {
 		benchout = fs.String("benchout", "BENCH_fedms.json", "output path for the perf experiment's JSON report")
 		diffbase = fs.String("diffbase", "", "baseline BENCH_fedms.json to diff the perf run against; exits non-zero on regression")
 		difftol  = fs.Float64("difftol", 0.15, "fractional ns/op regression tolerance for -diffbase")
+		scaleout = fs.String("scaleout", "scale_curve.json", "output path for the scale experiment's JSON curve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -296,6 +297,14 @@ func run(args []string) error {
 		}
 	}
 
+	if *exp == "scale" {
+		// Like perf, excluded from "all": the K=100k points want an idle
+		// machine and the curve is a build artifact (see `make scale`).
+		if err := runScale(out, *scaleout, *seed, *quick); err != nil {
+			return err
+		}
+	}
+
 	if !anyKnown(*exp) {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -312,7 +321,7 @@ func rounded(vals []float64) []string {
 }
 
 func anyKnown(exp string) bool {
-	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation defense stats sweep perf"
+	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation defense stats sweep perf scale"
 	for _, k := range strings.Fields(known) {
 		if exp == k {
 			return true

@@ -31,8 +31,10 @@ import (
 // fused_aggregate section (payload-view aggregation vs densify-first,
 // with the peak accumulator footprint per entry); v5 added the
 // loss_rule section (FedGreed/LossCluster through the oracle dispatch
-// vs their geometry-only fallback).
-const BenchSchema = "fedms-bench/perf/v5"
+// vs their geometry-only fallback); v6 added the scale section (the
+// cheap prefix of the `-exp scale` rounds/sec-vs-K curve through the
+// two-tier shard tree, with peak per-shard accumulator bytes).
+const BenchSchema = "fedms-bench/perf/v6"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -95,7 +97,14 @@ type BenchReport struct {
 	// prefix-averaging cost, not model forward passes), and their
 	// geometry-only fallback when no oracle is configured.
 	LossRule []BenchEntry `json:"loss_rule,omitempty"`
-	Round    RoundBench   `json:"round"`
+	// Scale measures simulated aggregation rounds streamed through the
+	// two-tier shard tree (aggregate.Sharded) at growing client counts
+	// K: Inputs=K, Workers=shards, AccBytes the peak per-shard
+	// accumulator. The full curve (K out to 100k, participation
+	// ablation, distributed smoke point) lives in `-exp scale`; this
+	// section is the cheap prefix so bench-diff gates regressions.
+	Scale []BenchEntry `json:"scale,omitempty"`
+	Round RoundBench   `json:"round"`
 }
 
 // measure averages fn over enough iterations to fill minTime, reporting
@@ -411,6 +420,15 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 					panic(err)
 				}
 			})
+	}
+
+	fmt.Fprintln(out, "Performance pass (sharded scale, cheap prefix of -exp scale):")
+	{
+		entries, err := scaleEntries(out, seed, quick)
+		if err != nil {
+			return nil, fmt.Errorf("scale benchmark: %w", err)
+		}
+		report.Scale = entries
 	}
 
 	fmt.Fprintln(out, "Performance pass (round wall-clock):")

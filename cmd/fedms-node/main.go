@@ -66,6 +66,8 @@ type options struct {
 	filterSpec string
 	serverSpec string
 	fullUpload bool
+	partic     float64
+	shards     int
 	lr         float64
 	alpha      float64
 	samples    int
@@ -131,6 +133,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.filterSpec, "filter", "", "client filter rule spec ("+aggregate.RuleGrammar+"); empty = trimmed mean at -beta")
 	fs.StringVar(&o.serverSpec, "server-rule", "", "benign servers' aggregation rule spec (same grammar); empty = mean or trimmed mean at -server-beta")
 	fs.BoolVar(&o.fullUpload, "full-upload", false, "upload every client's model to every PS (required for robust server rules)")
+	fs.Float64Var(&o.partic, "participation", 1, "fraction of clients active per round, in (0, 1]; inactive clients send skip frames")
+	fs.IntVar(&o.shards, "shards", 0, "PS-side aggregation shards (>1 streams uploads through the two-tier shard tree; 0/1 unsharded)")
 	fs.Float64Var(&o.lr, "lr", 0.1, "constant learning rate")
 	fs.Float64Var(&o.alpha, "alpha", 10, "Dirichlet D_alpha (<=0 for IID)")
 	fs.IntVar(&o.samples, "samples", 4000, "total dataset samples")
@@ -209,6 +213,14 @@ func run(args []string) error {
 	if o.faultDrop < 0 || o.faultDrop > 1 || o.faultCorrupt < 0 || o.faultCorrupt > 1 ||
 		o.faultDup < 0 || o.faultDup > 1 || o.faultDelay < 0 || o.faultDelay > 1 {
 		return fmt.Errorf("fault rates must be in [0, 1]")
+	}
+	// Participation and shards fail fast here, before any socket opens,
+	// for the same reason as the codec and rule specs below.
+	if o.partic <= 0 || o.partic > 1 {
+		return fmt.Errorf("-participation: must be in (0, 1], got %v", o.partic)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards: must be non-negative, got %d", o.shards)
 	}
 	// Codec specs are validated here, before any socket opens, so a typo
 	// fails with a usage message instead of a half-started federation.
@@ -542,6 +554,7 @@ func runPS(o *options, st *obsState) error {
 		Attack:          atk,
 		ServerRule:      o.serverRule(),
 		LossOracle:      o.oracle,
+		Shards:          o.shards,
 		DownlinkCodec:   o.downlinkCodec(o.id),
 		Seed:            o.seed,
 		Key:             o.authKey(),
@@ -586,6 +599,8 @@ func runClientRole(o *options, st *obsState) error {
 		Servers:               servers,
 		Rounds:                o.rounds,
 		LocalSteps:            o.localSteps,
+		Clients:               o.clients,
+		Participation:         o.partic,
 		UploadAttack:          ua,
 		Filter:                o.filter(),
 		LossOracle:            o.oracle,
@@ -651,6 +666,7 @@ func runLocal(o *options, st *obsState) error {
 			Attack:          byz[i],
 			ServerRule:      o.serverRule(),
 			LossOracle:      o.oracle,
+			Shards:          o.shards,
 			DownlinkCodec:   o.downlinkCodec(i),
 			Seed:            o.seed,
 			Key:             o.authKey(),
@@ -711,6 +727,8 @@ func runLocal(o *options, st *obsState) error {
 				Servers:               addrs,
 				Rounds:                o.rounds,
 				LocalSteps:            o.localSteps,
+				Clients:               o.clients,
+				Participation:         o.partic,
 				FullUpload:            o.fullUpload,
 				UploadAttack:          ua,
 				Filter:                o.filter(),

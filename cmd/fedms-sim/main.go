@@ -53,6 +53,8 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "experiment seed")
 		evalEvery  = fs.Int("eval", 5, "evaluate every N rounds")
 		upload     = fs.String("upload", "sparse", "upload strategy: sparse|full|round_robin")
+		partic     = fs.Float64("participation", 1, "fraction of clients active per round, in (0, 1]")
+		shards     = fs.Int("shards", 0, "server-side aggregation shards (>1 streams uploads through the two-tier shard tree; 0/1 unsharded)")
 		codec      = fs.String("codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed")
 		downCodec  = fs.String("downlink-codec", "dense", "downlink codec spec (same grammar, no ef+)")
 		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
@@ -78,6 +80,14 @@ func run(args []string) error {
 			return fmt.Errorf("-server-rule: %w", err)
 		}
 	}
+	// Participation and shards fail fast with the flag name, before any
+	// dataset or model is built.
+	if *partic <= 0 || *partic > 1 {
+		return fmt.Errorf("-participation: must be in (0, 1], got %v", *partic)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards: must be non-negative, got %d", *shards)
+	}
 	up := fedms.SparseUpload
 	switch *upload {
 	case "sparse":
@@ -89,18 +99,20 @@ func run(args []string) error {
 		return fmt.Errorf("unknown upload strategy %q", *upload)
 	}
 	cfg := fedms.Config{
-		Clients:      *clients,
-		Servers:      *servers,
-		NumByzantine: *byzantine,
-		Rounds:       *rounds,
-		LocalSteps:   *localSteps,
-		BatchSize:    *batch,
-		TrimBeta:     *beta,
-		FilterRule:   *filterSpec,
-		ServerRule:   *serverSpec,
-		Upload:       up,
-		Attack:       atk,
-		LearningRate: *lr,
+		Clients:       *clients,
+		Servers:       *servers,
+		NumByzantine:  *byzantine,
+		Rounds:        *rounds,
+		LocalSteps:    *localSteps,
+		BatchSize:     *batch,
+		TrimBeta:      *beta,
+		FilterRule:    *filterSpec,
+		ServerRule:    *serverSpec,
+		Upload:        up,
+		Participation: *partic,
+		Shards:        *shards,
+		Attack:        atk,
+		LearningRate:  *lr,
 		Dataset: fedms.DatasetSpec{
 			Kind:    fedms.DatasetKind(*dataset),
 			Samples: *samples,

@@ -254,6 +254,13 @@ type Config struct {
 	// Participation is the fraction of clients active per round in
 	// (0, 1]; zero means full participation.
 	Participation float64
+	// Shards, when > 1, routes server-side aggregation through the
+	// two-tier sharded tree (see core.Config.Shards): uploads stream
+	// into S column-range shards, so no server materialises the full
+	// K×d matrix. Bit-identical to the unsharded rules for every
+	// value; rules without a sharded kernel fall back. 0 or 1 disables
+	// sharding.
+	Shards int
 	// Attack is the Byzantine behaviour (default NoAttack).
 	Attack Attack
 	// NumByzantineClients and ClientAttack enable the two-sided threat
@@ -475,6 +482,7 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		LocalSteps:          cfg.LocalSteps,
 		Upload:              cfg.Upload,
 		Participation:       cfg.Participation,
+		Shards:              cfg.Shards,
 		Attack:              cfg.Attack,
 		Filter:              filter,
 		Schedule:            sched,

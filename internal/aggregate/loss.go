@@ -70,6 +70,42 @@ func AggregatePayloadsWithOracle(r Rule, ps []compress.Payload, eval LossEval) (
 	return lr.AggregateWithLoss(vecs, counted), false, calls
 }
 
+// AggregateWithOracleInto is AggregateWithOracle with a caller-provided
+// output buffer, reused when the rule supports in-place output (loss
+// rules keep their fresh-vector path). The returned slice holds the
+// aggregate; callers must use it, not dst.
+func AggregateWithOracleInto(r Rule, dst []float64, vecs [][]float64, eval LossEval) (out []float64, oracleEvals int) {
+	lr, ok := r.(LossRule)
+	if !ok || eval == nil {
+		return AggregateInto(r, dst, vecs), 0
+	}
+	calls := 0
+	counted := func(m []float64) float64 { calls++; return eval(m) }
+	return lr.AggregateWithLoss(vecs, counted), calls
+}
+
+// AggregatePayloadsWithOracleInto is AggregatePayloadsWithOracle with a
+// caller-provided output buffer: geometry-only rules route through
+// AggregatePayloadsInto and reuse dst when they can; loss rules keep
+// their fresh-vector path (their outputs are retained by construction —
+// the winning prefix average — so in-place writing buys nothing). The
+// returned slice holds the aggregate; callers must use it, not dst.
+func AggregatePayloadsWithOracleInto(r Rule, dst []float64, ps []compress.Payload, eval LossEval) (out []float64, fused bool, oracleEvals int) {
+	lr, ok := r.(LossRule)
+	if !ok || eval == nil {
+		out, fused = AggregatePayloadsInto(r, dst, ps)
+		return out, fused, 0
+	}
+	checkPayloads(ps, r.Name())
+	vecs := make([][]float64, len(ps))
+	for i := range ps {
+		vecs[i] = ps[i].DenseView()
+	}
+	calls := 0
+	counted := func(m []float64) float64 { calls++; return eval(m) }
+	return lr.AggregateWithLoss(vecs, counted), false, calls
+}
+
 // FedGreed is the greedy lowest-holdout-loss subset average of
 // Kritharakis et al. (arXiv:2508.18060): sort the candidates by
 // holdout loss, grow the prefix one candidate at a time, score each

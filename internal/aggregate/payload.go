@@ -39,6 +39,36 @@ func AggregatePayloads(r Rule, ps []compress.Payload) (out []float64, fused bool
 	return r.Aggregate(vecs), false
 }
 
+// PayloadRuleInto is the reusable-output counterpart of PayloadRule:
+// AggregatePayloadsInto(dst, ps) returns exactly the bytes
+// AggregatePayloads(ps) would, stored in dst when its capacity
+// suffices.
+type PayloadRuleInto interface {
+	PayloadRule
+	AggregatePayloadsInto(dst []float64, ps []compress.Payload) []float64
+}
+
+// AggregatePayloadsInto is AggregatePayloads with a caller-provided
+// output buffer: the fused in-place path when r implements
+// PayloadRuleInto, otherwise densify-first through AggregateInto (which
+// still reuses dst for RuleInto rules). The returned slice holds the
+// aggregate; dst is reused when possible but callers must use the
+// return value.
+func AggregatePayloadsInto(r Rule, dst []float64, ps []compress.Payload) (out []float64, fused bool) {
+	if pr, ok := r.(PayloadRuleInto); ok {
+		return pr.AggregatePayloadsInto(dst, ps), true
+	}
+	if _, ok := r.(PayloadRule); ok {
+		return AggregatePayloads(r, ps)
+	}
+	checkPayloads(ps, r.Name())
+	vecs := make([][]float64, len(ps))
+	for i := range ps {
+		vecs[i] = ps[i].DenseView()
+	}
+	return AggregateInto(r, dst, vecs), false
+}
+
 // NoFuse hides a rule's fused path, forcing AggregatePayloads onto
 // the densify-first fallback. It is the control arm of the
 // differential and chaos-parity tests (and an escape hatch should a
@@ -65,9 +95,14 @@ func checkPayloads(ps []compress.Payload, rule string) int {
 // order, then one multiply by 1/n — while sparse inputs touch only
 // their support (see compress.Payload.AddTo for the bit-identity
 // argument).
-func (Mean) AggregatePayloads(ps []compress.Payload) []float64 {
+func (m Mean) AggregatePayloads(ps []compress.Payload) []float64 {
+	return m.AggregatePayloadsInto(nil, ps)
+}
+
+// AggregatePayloadsInto implements PayloadRuleInto.
+func (Mean) AggregatePayloadsInto(dst []float64, ps []compress.Payload) []float64 {
 	d := checkPayloads(ps, "mean")
-	out := make([]float64, d)
+	out := zeroVec(dst, d)
 	for i := range ps {
 		ps[i].AddTo(out)
 	}
@@ -80,9 +115,14 @@ func (Mean) AggregatePayloads(ps []compress.Payload) []float64 {
 // forEachCoordChunk partition as Aggregate, and each chunk gathers
 // its columns straight out of the payload views.
 func (t TrimmedMean) AggregatePayloads(ps []compress.Payload) []float64 {
+	return t.AggregatePayloadsInto(nil, ps)
+}
+
+// AggregatePayloadsInto implements PayloadRuleInto.
+func (t TrimmedMean) AggregatePayloadsInto(dst []float64, ps []compress.Payload) []float64 {
 	d := checkPayloads(ps, "trimmed_mean")
 	m := t.TrimCount(len(ps))
-	out := make([]float64, d)
+	out := zeroVec(dst, d)
 	gatherPayloadColumns(ps, d, t.Workers, out, 2*m, func(col, win []float64) float64 {
 		return trimmedMeanOf(col, m, win)
 	})
@@ -92,9 +132,14 @@ func (t TrimmedMean) AggregatePayloads(ps []compress.Payload) []float64 {
 // AggregatePayloads implements PayloadRule (column-gather path, see
 // TrimmedMean.AggregatePayloads).
 func (c CoordinateMedian) AggregatePayloads(ps []compress.Payload) []float64 {
+	return c.AggregatePayloadsInto(nil, ps)
+}
+
+// AggregatePayloadsInto implements PayloadRuleInto.
+func (c CoordinateMedian) AggregatePayloadsInto(dst []float64, ps []compress.Payload) []float64 {
 	d := checkPayloads(ps, "median")
 	n := len(ps)
-	out := make([]float64, d)
+	out := zeroVec(dst, d)
 	gatherPayloadColumns(ps, d, c.Workers, out, 0, func(col, _ []float64) float64 {
 		sortColumn(col)
 		if n%2 == 1 {
@@ -102,6 +147,17 @@ func (c CoordinateMedian) AggregatePayloads(ps []compress.Payload) []float64 {
 		}
 		return 0.5 * (col[n/2-1] + col[n/2])
 	})
+	return out
+}
+
+// zeroVec returns dst resized to d with every coordinate +0.0 — the
+// accumulator state the payload kernels assume (the all-sparse gather
+// leaves untouched columns at their initial value).
+func zeroVec(dst []float64, d int) []float64 {
+	out := ensureVec(dst, d)
+	for i := range out {
+		out[i] = 0
+	}
 	return out
 }
 
@@ -133,13 +189,13 @@ func gatherPayloadColumns(ps []compress.Payload, d, workers int, out []float64, 
 		}
 	}
 	forEachCoordChunk(d, n, workers, func(lo, hi int) {
-		col := make([]float64, n)
-		win := make([]float64, winLen)
+		s := getChunkScratch(n, winLen)
 		if allSparse {
-			gatherSparseChunk(ps, lo, hi, col, win, out, reduce)
+			gatherSparseChunk(ps, lo, hi, s, out, reduce)
 		} else {
-			gatherMixedChunk(ps, lo, hi, col, win, out, reduce)
+			gatherMixedChunk(ps, lo, hi, s, out, reduce)
 		}
+		putChunkScratch(s)
 	})
 }
 
@@ -148,12 +204,14 @@ func gatherPayloadColumns(ps []compress.Payload, d, workers int, out []float64, 
 // per-column entry lists (one cursor per view — supports are strictly
 // increasing, so each view is consumed in one forward pass), then
 // reduces only the columns at least one view touched.
-func gatherSparseChunk(ps []compress.Payload, lo, hi int, col, win, out []float64, reduce func(col, win []float64) float64) {
+func gatherSparseChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64) float64) {
 	n := len(ps)
-	cnt := make([]int32, payloadGatherTile)
-	entOwner := make([]int32, payloadGatherTile*n)
-	entVal := make([]float64, payloadGatherTile*n)
-	cur := make([]int, n)
+	col, win := s.col, s.win
+	cnt := grownInt32s(s.cnt, payloadGatherTile)
+	entOwner := grownInt32s(s.entOwner, payloadGatherTile*n)
+	entVal := grownFloats(s.entVal, payloadGatherTile*n)
+	cur := grownInts(s.cur, n)
+	s.cnt, s.entOwner, s.entVal, s.cur = cnt, entOwner, entVal, cur
 	for i := range ps {
 		idx, _, _ := ps[i].Sparse()
 		cur[i] = sort.Search(len(idx), func(j int) bool { return int(idx[j]) >= lo })
@@ -199,9 +257,11 @@ func gatherSparseChunk(ps []compress.Payload, lo, hi int, col, win, out []float6
 // gatherMixedChunk processes [lo, hi) when at least one view is dense
 // or quantized: every view gathers its tile slice into a shared row
 // buffer (bounded n·tile, never n·d), and every column reduces.
-func gatherMixedChunk(ps []compress.Payload, lo, hi int, col, win, out []float64, reduce func(col, win []float64) float64) {
+func gatherMixedChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64) float64) {
 	n := len(ps)
-	rows := make([]float64, n*payloadGatherTile)
+	col, win := s.col, s.win
+	rows := grownFloats(s.rows, n*payloadGatherTile)
+	s.rows = rows
 	for tlo := lo; tlo < hi; tlo += payloadGatherTile {
 		thi := tlo + payloadGatherTile
 		if thi > hi {
@@ -224,4 +284,8 @@ var (
 	_ PayloadRule = Mean{}
 	_ PayloadRule = TrimmedMean{}
 	_ PayloadRule = CoordinateMedian{}
+
+	_ PayloadRuleInto = Mean{}
+	_ PayloadRuleInto = TrimmedMean{}
+	_ PayloadRuleInto = CoordinateMedian{}
 )

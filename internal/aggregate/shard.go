@@ -1,0 +1,393 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fedms/internal/compress"
+)
+
+// This file is the two-tier aggregation tree (DESIGN.md §6): a shard
+// router partitions the coordinate space [0, d) into S contiguous
+// shards, uploads stream through S bounded queues, and each shard
+// incrementally transposes its column range into a bounded column-major
+// block on its own goroutine. When the input set is complete the shard
+// runs the same per-coordinate kernels as the unsharded rules
+// (trimmedMeanOf, sortColumn, the ordered mean sum) over its range, and
+// the root accumulator is simply the shared output vector the shards'
+// disjoint ranges concatenate into.
+//
+// The contract is strict bit-identity with the unsharded path, by
+// construction rather than by tolerance:
+//
+//   - Rows are sorted by member id before reduction, so every
+//     coordinate's column is gathered in exactly the ascending-id order
+//     the engine and PS aggregate in.
+//   - The per-coordinate kernels are the unsharded rules' own: the trim
+//     count, selection-path choice and sort routine are pure functions
+//     of (n, m) and never of the shard geometry.
+//   - An all-sparse shard leaves untouched columns at +0.0, matching
+//     gatherSparseChunk; for the shardable rules the kernel of an
+//     all-zero column is exactly +0.0, so skipping is exact.
+//
+// Memory per shard is O(K·d/S): a capRows × width column-major block
+// for dense/quantized rows plus an entry arena holding only the
+// in-range support of sparse rows — with topk payloads no block is
+// ever allocated and the shard holds only the support. No site holds
+// the full K×d matrix.
+
+// shardQueueDepth bounds each shard's ingest queue. A full queue blocks
+// Offer — the router's backpressure — so a slow shard throttles intake
+// instead of buffering unboundedly.
+const shardQueueDepth = 64
+
+// shardMsg is one routed upload: the member id that orders the row at
+// reduce time and the payload view to transpose.
+type shardMsg struct {
+	id int
+	p  compress.Payload
+}
+
+// shardRow records one ingested row of a shard: dense rows live in the
+// column-major block at slot, sparse rows own the arena entry range
+// [start, end).
+type shardRow struct {
+	id    int
+	slot  int // block column slot; -1 for sparse rows
+	start int
+	end   int
+}
+
+// shardRowBytes is the accounting size of one shardRow (four ints).
+const shardRowBytes = 32
+
+// Sharded streams member payloads through a coordinate-sharded
+// aggregation tree for one aggregation (one PS round). Offer may be
+// called from a single goroutine; Finalize (or Abort) completes the
+// tree. A Sharded is one-shot: construct a new one per aggregation.
+type Sharded struct {
+	rule    Rule
+	d       int
+	shards  []*aggShard
+	queues  []chan shardMsg
+	wg      sync.WaitGroup
+	out     []float64
+	offered int
+	aborted atomic.Bool
+	peak    atomic.Int64
+	done    bool
+}
+
+// ShardableRule reports whether rule r has a coordinate-sharded path:
+// the per-coordinate rules Mean, TrimmedMean and CoordinateMedian.
+// Selection and loss rules score whole vectors and fall back to the
+// unsharded path, as does a NoFuse wrapper (sharding is a fused-style
+// path, and NoFuse is the escape hatch that disables those).
+func ShardableRule(r Rule) bool {
+	switch r.(type) {
+	case Mean, TrimmedMean, CoordinateMedian:
+		return true
+	}
+	return false
+}
+
+// NewSharded builds the shard tree for rule r over dimension d with at
+// most shards shards. rowsHint, when positive, presizes each shard for
+// that many member rows. ok is false — and the caller must use the
+// unsharded path — when the rule is not shardable or the geometry
+// degenerates (shards <= 1 or d == 0).
+func NewSharded(r Rule, d, shards, rowsHint int) (*Sharded, bool) {
+	if !ShardableRule(r) || shards <= 1 || d <= 0 {
+		return nil, false
+	}
+	if shards > d {
+		shards = d
+	}
+	width := (d + shards - 1) / shards
+	s := &Sharded{rule: r, d: d}
+	for lo := 0; lo < d; lo += width {
+		hi := lo + width
+		if hi > d {
+			hi = d
+		}
+		sh := &aggShard{parent: s, lo: lo, hi: hi, rowsHint: rowsHint}
+		q := make(chan shardMsg, shardQueueDepth)
+		s.shards = append(s.shards, sh)
+		s.queues = append(s.queues, q)
+		s.wg.Add(1)
+		go sh.run(q)
+	}
+	return s, true
+}
+
+// NumShards returns the number of shards actually built (at most the
+// requested count, never more than d).
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Offer routes one member's payload to every shard. It blocks when a
+// shard's queue is full — backpressure, not loss. The payload view (and
+// its backing buffer) must stay valid until Finalize or Abort returns.
+// Member ids must be unique; rows are ordered by ascending id at reduce
+// time regardless of arrival order.
+func (s *Sharded) Offer(id int, p compress.Payload) {
+	if p.Dim() != s.d {
+		panic(fmt.Sprintf("aggregate: sharded %s input has dim %d, want %d", s.rule.Name(), p.Dim(), s.d))
+	}
+	for i := range s.queues {
+		s.queues[i] <- shardMsg{id: id, p: p}
+	}
+	s.offered++
+}
+
+// Finalize completes the stream: every shard reduces its column range
+// as soon as it drains its queue, and the concatenated result — stored
+// in dst when its capacity suffices — is returned. Bit-identical to the
+// unsharded rule over the same rows in ascending-id order. Panics on an
+// empty input set, like the rules themselves.
+func (s *Sharded) Finalize(dst []float64) []float64 {
+	if s.done {
+		panic("aggregate: Finalize on a completed Sharded")
+	}
+	if s.offered == 0 {
+		panic(fmt.Sprintf("aggregate: %s on empty input", s.rule.Name()))
+	}
+	out := zeroVec(dst, s.d)
+	s.out = out // published to the shard goroutines by the closes below
+	for i := range s.queues {
+		close(s.queues[i])
+	}
+	s.wg.Wait()
+	s.done = true
+	return out
+}
+
+// Abort tears the tree down without reducing: queues are drained and
+// closed and every shard goroutine exits. Safe after partial Offers,
+// e.g. when a PS round fails mid-barrier.
+func (s *Sharded) Abort() {
+	if s.done {
+		return
+	}
+	s.aborted.Store(true)
+	for i := range s.queues {
+		close(s.queues[i])
+	}
+	s.wg.Wait()
+	s.done = true
+}
+
+// PeakShardBytes returns the largest accumulator footprint any single
+// shard reached — block, entry arena, row records and gather scratch —
+// valid after Finalize or Abort. This is the measured side of the
+// O(K·d/S) memory bound.
+func (s *Sharded) PeakShardBytes() int64 { return s.peak.Load() }
+
+// aggShard owns one contiguous coordinate range [lo, hi).
+type aggShard struct {
+	parent   *Sharded
+	lo, hi   int
+	rowsHint int
+
+	rows    []shardRow
+	block   []float64 // column-major: block[jl*capRows + slot]
+	capRows int
+	nslots  int
+	entIdx  []uint32 // sparse entry arena: range-local coordinates
+	entVal  []float64
+	scratch []float64 // width-sized dense gather scratch
+}
+
+// run is the shard goroutine: ingest every routed row, then — unless
+// aborted — reduce the completed column range into the shared output.
+func (sh *aggShard) run(q chan shardMsg) {
+	defer sh.parent.wg.Done()
+	for msg := range q {
+		sh.ingest(msg)
+	}
+	if !sh.parent.aborted.Load() {
+		sh.reduce(sh.parent.out)
+	}
+	// Record this shard's peak accumulator footprint.
+	mem := int64(8*cap(sh.block)) + int64(4*cap(sh.entIdx)) + int64(8*cap(sh.entVal)) +
+		int64(shardRowBytes*cap(sh.rows)) + int64(8*cap(sh.scratch))
+	for {
+		cur := sh.parent.peak.Load()
+		if mem <= cur || sh.parent.peak.CompareAndSwap(cur, mem) {
+			return
+		}
+	}
+}
+
+// ingest transposes one row into the shard's accumulators: sparse rows
+// append their in-range support to the entry arena, every other
+// encoding gathers its range and scatters it into the column-major
+// block.
+func (sh *aggShard) ingest(msg shardMsg) {
+	if sh.rows == nil && sh.rowsHint > 0 {
+		sh.rows = make([]shardRow, 0, sh.rowsHint)
+	}
+	if idx, val, ok := msg.p.Sparse(); ok {
+		start := len(sh.entIdx)
+		c := sort.Search(len(idx), func(i int) bool { return int(idx[i]) >= sh.lo })
+		for ; c < len(idx) && int(idx[c]) < sh.hi; c++ {
+			sh.entIdx = append(sh.entIdx, idx[c]-uint32(sh.lo))
+			sh.entVal = append(sh.entVal, val[c])
+		}
+		sh.rows = append(sh.rows, shardRow{id: msg.id, slot: -1, start: start, end: len(sh.entIdx)})
+		return
+	}
+	width := sh.hi - sh.lo
+	if sh.scratch == nil {
+		sh.scratch = make([]float64, width)
+	}
+	if sh.nslots == sh.capRows {
+		sh.growBlock(width)
+	}
+	slot := sh.nslots
+	sh.nslots++
+	msg.p.GatherInto(sh.scratch, sh.lo, sh.hi)
+	for jl, v := range sh.scratch {
+		sh.block[jl*sh.capRows+slot] = v
+	}
+	sh.rows = append(sh.rows, shardRow{id: msg.id, slot: slot})
+}
+
+// growBlock doubles the block's row capacity, re-striding the existing
+// columns.
+func (sh *aggShard) growBlock(width int) {
+	newCap := sh.capRows * 2
+	if newCap == 0 {
+		newCap = 64
+		if sh.rowsHint > 0 {
+			newCap = sh.rowsHint
+		}
+	}
+	next := make([]float64, width*newCap)
+	for jl := 0; jl < width; jl++ {
+		copy(next[jl*newCap:jl*newCap+sh.nslots], sh.block[jl*sh.capRows:jl*sh.capRows+sh.nslots])
+	}
+	sh.block, sh.capRows = next, newCap
+}
+
+// reduce runs the rule's per-coordinate kernel over the completed
+// column range, writing out[lo:hi]. Rows are ordered by ascending id
+// first so each gathered column matches the unsharded member order bit
+// for bit.
+func (sh *aggShard) reduce(out []float64) {
+	n := len(sh.rows)
+	if n == 0 {
+		return // Finalize already rejected the empty aggregation
+	}
+	sort.Slice(sh.rows, func(a, b int) bool { return sh.rows[a].id < sh.rows[b].id })
+	kernel, winLen := shardKernel(sh.parent.rule, n)
+	width := sh.hi - sh.lo
+	s := getChunkScratch(n, winLen)
+	col, win := s.col, s.win
+	curs := grownInts(s.cur, n)
+	s.cur = curs
+	for i := range curs {
+		curs[i] = 0
+	}
+	if sh.nslots == 0 {
+		// All-sparse: count per-column entries once, reduce only touched
+		// columns; untouched columns keep the output's +0.0, exactly as
+		// the unsharded sparse gather leaves them.
+		cnt := grownInt32s(s.cnt, width)
+		s.cnt = cnt
+		for j := range cnt {
+			cnt[j] = 0
+		}
+		for _, e := range sh.entIdx {
+			cnt[e]++
+		}
+		for jl := 0; jl < width; jl++ {
+			if cnt[jl] == 0 {
+				continue
+			}
+			sh.gatherColumn(col, curs, jl)
+			out[sh.lo+jl] = kernel(col, win)
+		}
+	} else {
+		for jl := 0; jl < width; jl++ {
+			sh.gatherColumn(col, curs, jl)
+			out[sh.lo+jl] = kernel(col, win)
+		}
+	}
+	putChunkScratch(s)
+}
+
+// gatherColumn fills col with coordinate lo+jl of every row in sorted
+// order: dense rows read their block slot, sparse rows consume their
+// next arena entry when it matches (columns are visited in ascending
+// order, so one forward cursor per row suffices).
+func (sh *aggShard) gatherColumn(col []float64, curs []int, jl int) {
+	for i := range sh.rows {
+		r := &sh.rows[i]
+		if r.slot >= 0 {
+			col[i] = sh.block[jl*sh.capRows+r.slot]
+			continue
+		}
+		v := 0.0
+		if c := r.start + curs[i]; c < r.end && sh.entIdx[c] == uint32(jl) {
+			v = sh.entVal[c]
+			curs[i]++
+		}
+		col[i] = v
+	}
+}
+
+// shardKernel returns the per-coordinate kernel of a shardable rule for
+// n inputs, plus the selection-window scratch length it needs. The
+// kernels are the unsharded rules' own per-coordinate arithmetic:
+// TrimCount, the selection path and the sort are pure functions of
+// (n, m), and the mean multiplies the ascending-order sum by the same
+// 1/n the fused path scales by.
+func shardKernel(r Rule, n int) (kernel func(col, win []float64) float64, winLen int) {
+	switch t := r.(type) {
+	case Mean:
+		inv := 1 / float64(n)
+		return func(col, _ []float64) float64 {
+			s := 0.0
+			for _, v := range col {
+				s += v
+			}
+			return s * inv
+		}, 0
+	case TrimmedMean:
+		m := t.TrimCount(n)
+		return func(col, win []float64) float64 {
+			return trimmedMeanOf(col, m, win)
+		}, 2 * m
+	case CoordinateMedian:
+		return func(col, _ []float64) float64 {
+			sortColumn(col)
+			if n%2 == 1 {
+				return col[n/2]
+			}
+			return 0.5 * (col[n/2-1] + col[n/2])
+		}, 0
+	}
+	panic(fmt.Sprintf("aggregate: shardKernel on unshardable rule %s", r.Name()))
+}
+
+// ShardAggregatePayloads aggregates payload views through the shard
+// tree when the rule and geometry allow it, falling back to
+// AggregatePayloadsInto otherwise. ps must be ordered by ascending
+// member id — the invariant the engine and PS aggregation sites already
+// hold — so the fallback and the sharded path see the same member
+// order. peakBytes reports the largest per-shard accumulator footprint
+// (0 on the unsharded path).
+func ShardAggregatePayloads(r Rule, dst []float64, ps []compress.Payload, shards int) (out []float64, sharded bool, peakBytes int64) {
+	d := checkPayloads(ps, r.Name())
+	sa, ok := NewSharded(r, d, shards, len(ps))
+	if !ok {
+		out, _ = AggregatePayloadsInto(r, dst, ps)
+		return out, false, 0
+	}
+	for i := range ps {
+		sa.Offer(i, ps[i])
+	}
+	return sa.Finalize(dst), true, sa.PeakShardBytes()
+}

@@ -121,6 +121,16 @@ type Config struct {
 	// default 5 approximates that cheaply — models are near-identical
 	// after filtering). Clamped to K.
 	EvalClients int
+	// Shards, when > 1, routes every server-side aggregation through the
+	// two-tier shard tree (aggregate.Sharded): the coordinate space is
+	// partitioned into this many shards, uploads stream through bounded
+	// per-shard queues, and each shard reduces its column range on its
+	// own goroutine, bounding per-shard accumulator memory at O(K·d/S).
+	// Outputs are bit-identical to the unsharded path for every value,
+	// so the knob trades only memory and wall-clock. Rules without a
+	// per-coordinate kernel (Krum, Bulyan, the loss rules, …) fall back
+	// to the unsharded path unchanged. 0 or 1 disables sharding.
+	Shards int
 	// Workers bounds the engine's parallelism (default GOMAXPROCS): the
 	// client training pool, the per-client filter stage, the
 	// coordinate-parallel aggregation path of the filter rules, and the
@@ -252,6 +262,9 @@ func (c Config) Validate() (Config, error) {
 		perm := randx.Perm(randx.Split(c.Seed, "byzantine-client-ids"), c.Clients)
 		c.ByzantineClientIDs = append([]int(nil), perm[:c.NumByzantineClients]...)
 		sort.Ints(c.ByzantineClientIDs)
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("core: Shards must be non-negative, got %d", c.Shards)
 	}
 	if err := c.UploadCodec.Validate(); err != nil {
 		return c, fmt.Errorf("core: UploadCodec: %w", err)

@@ -55,11 +55,24 @@ type Engine struct {
 
 	// history[i] holds server i's honest aggregates, one per completed
 	// round; Byzantine tampering never enters this history (it feeds
-	// the attack's adaptive knowledge instead).
+	// the attack's adaptive knowledge instead). Only Byzantine servers
+	// retain history — they are its only readers — so steady-state
+	// memory is O(T·B·d), not O(T·P·d).
 	history [][][]float64
 	// lastAgg[i] is server i's most recent aggregate, reused when the
 	// sparse upload assigns it no clients in a round.
 	lastAgg [][]float64
+	// aggBufs[i] is benign server i's round-persistent aggregation
+	// output buffer: nothing retains a benign aggregate past its round
+	// (history skips benign servers and the idle-server path copies), so
+	// the rules write in place instead of allocating d floats per server
+	// per round. Byzantine servers aggregate into fresh vectors, which
+	// the history retains.
+	aggBufs [][]float64
+	// filterBufs[k] is client k's round-persistent filter output buffer;
+	// SetParams copies into the layer tensors, so the filtered vector
+	// never outlives the round.
+	filterBufs [][]float64
 
 	// codecs[k] is client k's upload codec instance (nil slice when the
 	// upload codec is dense). Stateful: error-feedback residuals persist
@@ -288,7 +301,12 @@ func (e *Engine) RunRound() RoundStats {
 	// ---- Model aggregation stage (lines 3-4, 11) ----
 	assign := e.uploadAssignment(t, active)
 	aggs := make([][]float64, e.cfg.Servers)
-	var aggFusedN, aggFallbackN, oracleServerN int
+	var aggFusedN, aggFallbackN, aggShardedN, oracleServerN int
+	var shardPeak int64
+	if e.aggBufs == nil {
+		e.aggBufs = make([][]float64, e.cfg.Servers)
+	}
+	shardable := e.cfg.Shards > 1 && aggregate.ShardableRule(e.cfg.ServerFilter)
 	for i := 0; i < e.cfg.Servers; i++ {
 		members := assign[i]
 		if len(members) == 0 {
@@ -301,15 +319,34 @@ func (e *Engine) RunRound() RoundStats {
 			for _, k := range members {
 				ordered = append(ordered, views[k])
 			}
-			var fused bool
-			var evals int
-			aggs[i], fused, evals = aggregate.AggregatePayloadsWithOracle(e.cfg.ServerFilter, ordered, e.oracle)
-			if fused {
-				aggFusedN++
-			} else {
-				aggFallbackN++
+			// Benign servers aggregate into their round-persistent
+			// buffer; Byzantine servers get a fresh vector because the
+			// adaptive-adversary history retains theirs.
+			var dst []float64
+			if !e.cfg.IsByzantine(i) {
+				dst = e.aggBufs[i]
 			}
-			oracleServerN += evals
+			if shardable {
+				var peak int64
+				aggs[i], _, peak = aggregate.ShardAggregatePayloads(e.cfg.ServerFilter, dst, ordered, e.cfg.Shards)
+				aggShardedN++
+				if peak > shardPeak {
+					shardPeak = peak
+				}
+			} else {
+				var fused bool
+				var evals int
+				aggs[i], fused, evals = aggregate.AggregatePayloadsWithOracleInto(e.cfg.ServerFilter, dst, ordered, e.oracle)
+				if fused {
+					aggFusedN++
+				} else {
+					aggFallbackN++
+				}
+				oracleServerN += evals
+			}
+			if dst != nil {
+				e.aggBufs[i] = aggs[i]
+			}
 		}
 		e.lastAgg[i] = aggs[i]
 		st.UploadFloats += len(members) * e.dim
@@ -335,6 +372,9 @@ func (e *Engine) RunRound() RoundStats {
 	spreads := make([]float64, e.cfg.Clients)
 	downBytes := make([]int, e.cfg.Clients)
 	oracleFilterN := make([]int, e.cfg.Clients)
+	if e.filterBufs == nil {
+		e.filterBufs = make([][]float64, e.cfg.Clients)
+	}
 	e.forEachClient(e.cfg.Clients, func(k int) {
 		received := disseminated(k)
 		if downlinkCodec {
@@ -353,7 +393,8 @@ func (e *Engine) RunRound() RoundStats {
 		} else {
 			downBytes[k] = 8 * e.cfg.Servers * e.dim
 		}
-		filtered, evals := aggregate.AggregateWithOracle(e.cfg.Filter, received, e.oracle)
+		filtered, evals := aggregate.AggregateWithOracleInto(e.cfg.Filter, e.filterBufs[k], received, e.oracle)
+		e.filterBufs[k] = filtered // SetParams copies, so the buffer is free next round
 		oracleFilterN[k] = evals
 		e.learners[k].SetParams(filtered)
 		spreads[k] = tensor.VecDist2(filtered, benignMean)
@@ -367,8 +408,11 @@ func (e *Engine) RunRound() RoundStats {
 		st.DownloadBytes += b
 	}
 
-	// Append honest aggregates to the adaptive-adversary history.
-	for i := 0; i < e.cfg.Servers; i++ {
+	// Append honest aggregates to the adaptive-adversary history. Only
+	// Byzantine servers read it (attack.Context.History), so only they
+	// retain it — a benign history would grow O(T·d) per server unread
+	// and would pin the reused aggregation buffers.
+	for _, i := range e.cfg.ByzantineIDs {
 		e.history[i] = append(e.history[i], aggs[i])
 	}
 	if e.obsOn {
@@ -391,6 +435,10 @@ func (e *Engine) RunRound() RoundStats {
 		e.om.rounds.Inc()
 		e.om.aggFused.Add(int64(aggFusedN))
 		e.om.aggFallback.Add(int64(aggFallbackN))
+		e.om.aggSharded.Add(int64(aggShardedN))
+		if shardPeak > 0 {
+			e.om.shardPeakBytes.Set(shardPeak)
+		}
 		e.om.aggDecodeBytes.Add(int64(st.UploadBytes))
 		e.om.oracleServer.Add(int64(oracleServerN))
 		var filterEvals int64
@@ -445,16 +493,25 @@ func (e *Engine) RunRound() RoundStats {
 // activeClients returns the sorted ids of clients participating in
 // round t (all of them under full participation).
 func (e *Engine) activeClients(t int) []int {
-	k := e.cfg.Clients
-	if e.cfg.Participation >= 1 {
-		all := make([]int, k)
+	return ActiveClients(e.cfg.Seed, t, e.cfg.Clients, e.cfg.Participation)
+}
+
+// ActiveClients returns the sorted ids of the clients participating in
+// round t under the given participation fraction — a pure function of
+// (seed, round, clients, participation), exported so the distributed
+// runtime samples exactly the engine's index sets (the parity contract
+// of the partial-participation setting). participation outside (0, 1)
+// means full participation.
+func ActiveClients(seed uint64, round, clients int, participation float64) []int {
+	if participation >= 1 || participation <= 0 {
+		all := make([]int, clients)
 		for i := range all {
 			all[i] = i
 		}
 		return all
 	}
-	m := int(e.cfg.Participation * float64(k))
-	perm := randx.Perm(randx.Split(e.cfg.Seed, fmt.Sprintf("participation/r%d", t)), k)
+	m := int(participation * float64(clients))
+	perm := randx.Perm(randx.Split(seed, fmt.Sprintf("participation/r%d", round)), clients)
 	active := append([]int(nil), perm[:m]...)
 	sort.Ints(active)
 	return active

@@ -28,9 +28,12 @@ func TestFilterOutputWithinHonestSpan(t *testing.T) {
 			eng.RunRound()
 			// Honest aggregates of ALL servers this round (Byzantine
 			// servers aggregate honestly; they lie at dissemination).
+			// Snapshot lastAgg — benign servers reuse their aggregation
+			// buffer across rounds, so the engine retains history only
+			// for Byzantine servers.
 			honest := make([][]float64, cfg.Servers)
 			for i := 0; i < cfg.Servers; i++ {
-				honest[i] = eng.history[i][round]
+				honest[i] = append([]float64(nil), eng.lastAgg[i]...)
 			}
 			for k, l := range eng.Learners() {
 				params := l.Params()
@@ -70,7 +73,7 @@ func TestVanillaFilterViolatesSpan(t *testing.T) {
 	eng.RunRound()
 	honest := make([][]float64, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		honest[i] = eng.history[i][0]
+		honest[i] = append([]float64(nil), eng.lastAgg[i]...)
 	}
 	params := eng.Learners()[0].Params()
 	violated := false

@@ -30,6 +30,20 @@ type ClientConfig struct {
 	// Rounds and LocalSteps mirror the core.Config fields T and E.
 	Rounds     int
 	LocalSteps int
+	// Clients is K, the total client count of the federation — the
+	// population Participation samples from. Required when
+	// Participation ∈ (0, 1); otherwise unused.
+	Clients int
+	// Participation mirrors core.Config.Participation: the fraction of
+	// clients active per round, sampled without replacement from the
+	// shared seed. Each round this client checks its membership in
+	// core.ActiveClients(Seed, round, Clients, Participation) — the
+	// exact index set the in-process engine samples — and when inactive
+	// skips local training and sends empty skip frames to every PS
+	// (preserving the K-frame barrier) while still receiving and
+	// filtering the global models, as in the engine. 0 or 1 means full
+	// participation.
+	Participation float64
 	// FullUpload sends the model to every PS instead of one random PS.
 	FullUpload bool
 	// UploadAttack, when non-nil, makes this client Byzantine: it
@@ -119,6 +133,10 @@ type ClientRoundStats struct {
 	// UploadedTo is the PS that received this client's model (-1 for
 	// full upload).
 	UploadedTo int
+	// Active reports whether this client was sampled into the round
+	// (always true under full participation). An inactive round trains
+	// nothing and uploads skip frames only.
+	Active bool
 	// ModelsReceived counts the global models that arrived this round
 	// (P when nothing was lost).
 	ModelsReceived int
@@ -289,6 +307,13 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	if cfg.MinModels > p {
 		return nil, fmt.Errorf("node: client %d MinModels %d exceeds P=%d", cfg.ID, cfg.MinModels, p)
 	}
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return nil, fmt.Errorf("node: client %d Participation must be in [0, 1], got %v", cfg.ID, cfg.Participation)
+	}
+	sampled := cfg.Participation > 0 && cfg.Participation < 1
+	if sampled && cfg.Clients <= cfg.ID {
+		return nil, fmt.Errorf("node: client %d needs Clients > ID to sample participation, got %d", cfg.ID, cfg.Clients)
+	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
@@ -374,40 +399,61 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			}
 		}
 
-		var roundStart []float64
-		if cfg.UploadAttack != nil {
-			roundStart = cfg.Learner.Params()
+		// Partial participation: an inactive round skips training and
+		// uploads skip frames only — exactly the engine's semantics,
+		// over the identical sampled index set (the shared seed makes
+		// ActiveClients a pure function both runtimes agree on).
+		st.Active = true
+		if sampled {
+			st.Active = false
+			for _, id := range core.ActiveClients(cfg.Seed, round, cfg.Clients, cfg.Participation) {
+				if id == cfg.ID {
+					st.Active = true
+					break
+				}
+			}
 		}
 
-		// Local training stage.
-		st.TrainLoss = cfg.Learner.LocalTrain(cfg.LocalSteps, round*cfg.LocalSteps, cfg.Schedule)
-		params := cfg.Learner.Params()
+		var params []float64
+		var uploadEnc compress.Encoding
+		choice := -1
+		if st.Active {
+			var roundStart []float64
+			if cfg.UploadAttack != nil {
+				roundStart = cfg.Learner.Params()
+			}
 
-		// A Byzantine client lies in what it sends, not in how it
-		// trains.
-		if cfg.UploadAttack != nil {
-			params = cfg.UploadAttack.TamperUpload(&attack.UploadContext{
-				Round:  round,
-				Client: cfg.ID,
-				Params: params,
-				Global: roundStart,
-				RNG:    core.UploadAttackRNG(cfg.Seed, round, cfg.ID),
-			})
+			// Local training stage.
+			st.TrainLoss = cfg.Learner.LocalTrain(cfg.LocalSteps, round*cfg.LocalSteps, cfg.Schedule)
+			params = cfg.Learner.Params()
+
+			// A Byzantine client lies in what it sends, not in how it
+			// trains.
+			if cfg.UploadAttack != nil {
+				params = cfg.UploadAttack.TamperUpload(&attack.UploadContext{
+					Round:  round,
+					Client: cfg.ID,
+					Params: params,
+					Global: roundStart,
+					RNG:    core.UploadAttackRNG(cfg.Seed, round, cfg.ID),
+				})
+			}
+
+			// The codec runs once per round — full upload sends the same
+			// payload to every PS, so error-feedback state advances
+			// exactly once either way; an inactive round advances it not
+			// at all (the engine encodes only active clients).
+			if cfg.Codec != nil {
+				uploadEnc, encBuf = cfg.Codec.AppendEncode(encBuf[:0], params)
+			}
+			if !cfg.FullUpload {
+				choice = core.SparseUploadChoice(cfg.Seed, round, cfg.ID, p)
+				st.UploadedTo = choice
+			}
 		}
 
 		// Model aggregation stage: one real upload (sparse) or P (full);
-		// empty skip frames complete the PS-side barrier. The codec runs
-		// once per round — full upload sends the same payload to every
-		// PS, so error-feedback state advances exactly once either way.
-		var uploadEnc compress.Encoding
-		if cfg.Codec != nil {
-			uploadEnc, encBuf = cfg.Codec.AppendEncode(encBuf[:0], params)
-		}
-		choice := -1
-		if !cfg.FullUpload {
-			choice = core.SparseUploadChoice(cfg.Seed, round, cfg.ID, p)
-			st.UploadedTo = choice
-		}
+		// empty skip frames complete the PS-side barrier.
 		for i, conn := range conns {
 			if conn == nil {
 				continue
@@ -417,7 +463,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				Round:  uint32(round),
 				Sender: uint32(cfg.ID),
 			}
-			if cfg.FullUpload || i == choice {
+			if st.Active && (cfg.FullUpload || i == choice) {
 				msg.Flag = 1
 				if cfg.Codec != nil {
 					msg.Enc, msg.Payload = uploadEnc, encBuf

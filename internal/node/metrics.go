@@ -25,8 +25,10 @@ type psMetrics struct {
 	floatsOut      *obs.Counter
 	aggFused       *obs.Counter
 	aggFallback    *obs.Counter
+	aggSharded     *obs.Counter
 	aggDecodeBytes *obs.Counter
 	oracleEvals    *obs.Counter
+	shardPeakBytes *obs.Gauge
 	barrierWait    *obs.Histogram
 }
 
@@ -51,11 +53,13 @@ func newPSMetrics(reg *obs.Registry, id int, rule string) *psMetrics {
 		floatsOut:     c("floats_out"),
 		aggFused:      c("agg_fused"),
 		aggFallback:   c("agg_fallback"),
+		aggSharded:    c("agg_sharded"),
 		aggDecodeBytes: reg.Counter(
 			`fedms_ps_agg_decode_bytes_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		oracleEvals: reg.Counter(
 			`fedms_ps_oracle_evals_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
-		barrierWait: reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
+		shardPeakBytes: reg.Gauge("fedms_ps_shard_peak_bytes" + l),
+		barrierWait:    reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
 	}
 }
 

@@ -91,6 +91,15 @@ type PSConfig struct {
 	// the contract: deterministic, pure, never mutates the model).
 	// Oracle evals are counted in Obs (fedms_ps_oracle_evals_total).
 	LossOracle aggregate.LossEval
+	// Shards, when > 1, streams uploads through the two-tier sharded
+	// aggregation tree (aggregate.Sharded): each upload is routed to S
+	// column-range shards as it clears the round barrier, so the server
+	// never materialises the K×d matrix — per-shard memory is O(K·d/S).
+	// Bit-identical to the unsharded rule for every value (the sharded
+	// differential contract); rules without a sharded kernel, and loss
+	// rules under an oracle, fall back to the unsharded path. 0 or 1
+	// disables sharding.
+	Shards int
 	// Seed is the shared experiment seed (drives attack RNG streams).
 	Seed uint64
 	// Key, when non-empty, enables per-frame HMAC authentication; all
@@ -145,7 +154,13 @@ type PS struct {
 	accepted []*transport.Conn // every conn ever accepted, for Crash
 	lastAgg  []float64
 	history  [][]float64
-	stats    PSStats
+	// aggBuf is a benign server's round-persistent aggregation output
+	// buffer: without an Attack nothing retains the aggregate past the
+	// round (history is only kept for Byzantine servers, the empty-round
+	// path copies), so the rules write in place instead of allocating d
+	// floats per round.
+	aggBuf []float64
+	stats  PSStats
 	// v2ok[id] records whether client id's hello advertised v2 codec
 	// frames; only those clients may receive an encoded downlink.
 	v2ok []bool
@@ -180,6 +195,10 @@ type PSStats struct {
 	// counts nothing.
 	FloatsIn  int
 	FloatsOut int
+	// ShardPeakBytes is the largest per-shard accumulator footprint any
+	// sharded aggregation round reached (0 when Shards is disabled) —
+	// the observable side of the O(K·d/S) memory contract.
+	ShardPeakBytes int64
 	// BytesIn and BytesOut count model payload bytes on the wire (dense
 	// models count 8 bytes per element, codec payloads their encoded
 	// size). Only successful sends count toward BytesOut, so under
@@ -200,6 +219,9 @@ func NewPS(cfg PSConfig) (*PS, error) {
 	}
 	if cfg.CrashAfterRound < 0 {
 		return nil, fmt.Errorf("node: PS %d CrashAfterRound must be non-negative", cfg.ID)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("node: PS %d Shards must be non-negative, got %d", cfg.ID, cfg.Shards)
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
@@ -489,6 +511,15 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	var missed, lost, bytesIn, floatsIn int
 	views := make(map[int]compress.Payload)
 	var firstErr error
+	// The streaming sharded path: uploads are routed into the two-tier
+	// tree as they clear the barrier instead of piling up in views, so
+	// the full K×d matrix never exists on this server. The tree is built
+	// lazily on the first model (which fixes d) and reduces in
+	// ascending-client order regardless of arrival order — bit-identical
+	// to the unsharded rule below by the sharded differential contract.
+	useShard := p.cfg.Shards > 1 && aggregate.ShardableRule(p.cfg.ServerRule)
+	var sa *aggregate.Sharded
+	shardDim := 0
 	waiting := make([]bool, len(conns))
 	for id, conn := range conns {
 		waiting[id] = conn != nil
@@ -528,8 +559,22 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 		case u.missed:
 			missed++
 		case u.model:
+			if useShard && sa == nil {
+				shardDim = u.pl.Dim()
+				sa, useShard = aggregate.NewSharded(p.cfg.ServerRule, shardDim, p.cfg.Shards, len(conns))
+			}
+			if sa != nil {
+				if u.pl.Dim() != shardDim {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("node: PS %d round %d: dimension mismatch from client %d", p.cfg.ID, round, u.client)
+					}
+				} else {
+					sa.Offer(u.client, u.pl)
+				}
+			} else {
+				views[u.client] = u.pl
+			}
 			members = append(members, u.client)
-			views[u.client] = u.pl
 			bytesIn += u.bytes
 			floatsIn += u.floats
 		}
@@ -539,6 +584,9 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 		barrierWait = time.Since(barrierStart)
 	}
 	if firstErr != nil {
+		if sa != nil {
+			sa.Abort()
+		}
 		return firstErr
 	}
 
@@ -547,16 +595,28 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	// payload views directly: a fused rule never densifies the codec
 	// uploads, a rule without a payload kernel falls back to
 	// densify-first inside AggregatePayloads (bit-identical either way;
-	// see the aggregate.PayloadRule contract).
+	// see the aggregate.PayloadRule contract). A benign server writes
+	// into its round-persistent buffer (nothing retains its aggregate
+	// past the round); a Byzantine server allocates fresh — its history
+	// feeds the adaptive attack.
 	sort.Ints(members)
 	var agg []float64
-	aggFused := false
+	aggFused, aggSharded := false, false
 	oracleEvals := 0
+	var shardPeak int64
+	var dst []float64
+	if p.cfg.Attack == nil {
+		dst = p.aggBuf
+	}
 	if len(members) == 0 {
 		if p.lastAgg == nil {
 			return fmt.Errorf("node: PS %d round %d: no uploads and no previous aggregate", p.cfg.ID, round)
 		}
 		agg = append([]float64(nil), p.lastAgg...)
+	} else if sa != nil {
+		agg = sa.Finalize(dst)
+		aggSharded = true
+		shardPeak = sa.PeakShardBytes()
 	} else {
 		first := views[members[0]]
 		dim := first.Dim()
@@ -568,7 +628,10 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 			}
 			ordered = append(ordered, v)
 		}
-		agg, aggFused, oracleEvals = aggregate.AggregatePayloadsWithOracle(p.cfg.ServerRule, ordered, p.cfg.LossOracle)
+		agg, aggFused, oracleEvals = aggregate.AggregatePayloadsWithOracleInto(p.cfg.ServerRule, dst, ordered, p.cfg.LossOracle)
+	}
+	if dst != nil && len(members) > 0 {
+		p.aggBuf = agg
 	}
 	p.mu.Lock()
 	p.lastAgg = agg
@@ -578,6 +641,9 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.stats.ClientsLost += lost
 	p.stats.BytesIn += bytesIn
 	p.stats.FloatsIn += floatsIn
+	if shardPeak > p.stats.ShardPeakBytes {
+		p.stats.ShardPeakBytes = shardPeak
+	}
 	p.mu.Unlock()
 	p.om.rounds.Inc()
 	p.om.uploadsRecv.Add(int64(len(members)))
@@ -586,9 +652,15 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.om.bytesIn.Add(int64(bytesIn))
 	p.om.floatsIn.Add(int64(floatsIn))
 	if len(members) > 0 {
-		if aggFused {
+		switch {
+		case aggSharded:
+			p.om.aggSharded.Inc()
+			if shardPeak > 0 {
+				p.om.shardPeakBytes.Set(shardPeak)
+			}
+		case aggFused:
 			p.om.aggFused.Inc()
-		} else {
+		default:
 			p.om.aggFallback.Inc()
 		}
 		p.om.aggDecodeBytes.Add(int64(bytesIn))
@@ -685,7 +757,12 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	p.om.bytesOut.Add(int64(bytesOut))
 	p.om.floatsOut.Add(int64(floatsOut))
 	p.om.sendsFailed.Add(int64(len(sendErrs)))
-	p.history = append(p.history, agg)
+	// Only a Byzantine server reads its history (adaptive-adversary
+	// knowledge); a benign one retaining it would grow O(T·d) unread and
+	// pin the reused aggregation buffer.
+	if p.cfg.Attack != nil {
+		p.history = append(p.history, agg)
+	}
 
 	sendLost := 0
 	for _, e := range sendErrs {
