@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race chaos trace fuzz bench bench-diff defense scale
+.PHONY: build test verify race chaos trace fuzz bench bench-diff defense scale straggler
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,12 @@ test:
 # bit-identical to the unsharded rules (every registry rule × shard
 # count × workers × degraded quorum × payload codec), and its streaming
 # accumulators are the most concurrent code in the tree, so they run by
-# name under the race detector before the full suite.
+# name under the race detector before the full suite. The async
+# determinism tier runs sixth: the bounded-staleness lifecycle (one
+# reader goroutine per connection racing a window deadline, stale
+# admission, disk-backed spill) is the most concurrent round path, and
+# two seeded runs must stay bit-identical under the race detector —
+# its divergences should fail by name before the full suite.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
@@ -40,6 +45,8 @@ verify:
 	$(GO) test -race -run 'TestDistributedMatchesEngineLoss' ./internal/node/
 	$(GO) test -race -run 'TestShardedAggregation' ./internal/aggregate/
 	$(GO) test -race -run 'TestDistributedShardedMatchesEngine|TestDistributedParticipationMatchesEngine' ./internal/node/
+	$(GO) test -race -run 'TestAsyncDeterminismChaos' ./internal/node/
+	$(GO) test -race -run 'TestAsyncDeterminism|TestAsyncSpillPathsBitIdentical' ./internal/core/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.
@@ -89,3 +96,11 @@ bench-diff:
 # build artifact. Run on an otherwise idle machine.
 scale:
 	$(GO) run ./cmd/fedms-bench -exp scale -scaleout scale_curve.json
+
+# Straggler curve: simulated round time vs one client's slowdown,
+# synchronous barrier vs bounded-staleness async rounds, written to
+# straggler_curve.json (see EXPERIMENTS.md "Stragglers") — CI uploads
+# it as a build artifact. Fully virtual (netsim), so it is cheap and
+# deterministic.
+straggler:
+	$(GO) run ./cmd/fedms-bench -exp straggler -stragglerout straggler_curve.json

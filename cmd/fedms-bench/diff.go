@@ -8,10 +8,11 @@ import (
 )
 
 // Perf regression gate (`make bench-diff`): the perf pass is re-run and
-// its aggregate, train_step, codec, fused_aggregate, loss_rule and
-// scale entries — the sections covering the filter, local-SGD,
-// model-encode, payload-aggregation, loss-oracle and sharded-round hot
-// paths — are compared against a committed baseline report. A fresh entry whose ns/op
+// its aggregate, train_step, codec, fused_aggregate, loss_rule, scale
+// and async_round entries — the sections covering the filter,
+// local-SGD, model-encode, payload-aggregation, loss-oracle,
+// sharded-round and bounded-staleness hot paths — are compared against
+// a committed baseline report. A fresh entry whose ns/op
 // exceeds the baseline by more than the tolerance fails the gate. The
 // other sections (gemm, transport, round) are reported but advisory:
 // they either feed the train_step numbers already or depend on
@@ -62,6 +63,7 @@ func diffBenchReports(out io.Writer, base, fresh *BenchReport, tol float64) erro
 		{"fused_aggregate", base.FusedAggregate, fresh.FusedAggregate},
 		{"loss_rule", base.LossRule, fresh.LossRule},
 		{"scale", base.Scale, fresh.Scale},
+		{"async_round", base.AsyncRound, fresh.AsyncRound},
 	}
 	var regressions []string
 	for _, sec := range sections {

@@ -15,6 +15,7 @@
 //	fedms-bench -exp defense            # rules x attacks defense matrix
 //	fedms-bench -exp all                # everything
 //	fedms-bench -exp perf               # perf pass -> BENCH_fedms.json
+//	fedms-bench -exp straggler          # sync vs async round time -> straggler_curve.json
 //
 // -quick shrinks rounds/clients for a fast smoke pass; -csvdir writes
 // each experiment's series as CSV files. The perf pass is not part of
@@ -44,7 +45,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedms-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|codec|ablation|defense|stats|sweep|perf|all")
+		exp      = fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|table2|theorem1|commcost|codec|ablation|defense|stats|sweep|perf|scale|straggler|all")
 		attack   = fs.String("attack", "", "restrict fig2 to one attack (noise|random|safeguard|backward)")
 		quick    = fs.Bool("quick", false, "shrink rounds and dataset for a fast smoke pass")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
@@ -57,6 +58,7 @@ func run(args []string) error {
 		diffbase = fs.String("diffbase", "", "baseline BENCH_fedms.json to diff the perf run against; exits non-zero on regression")
 		difftol  = fs.Float64("difftol", 0.15, "fractional ns/op regression tolerance for -diffbase")
 		scaleout = fs.String("scaleout", "scale_curve.json", "output path for the scale experiment's JSON curve")
+		stragout = fs.String("stragglerout", "straggler_curve.json", "output path for the straggler experiment's JSON curve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -305,6 +307,14 @@ func run(args []string) error {
 		}
 	}
 
+	if *exp == "straggler" {
+		// Excluded from "all" like scale: the curve is a build artifact
+		// (see `make straggler`), though fully virtual and cheap.
+		if err := runStraggler(out, *stragout, *seed, *quick); err != nil {
+			return err
+		}
+	}
+
 	if !anyKnown(*exp) {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -321,7 +331,7 @@ func rounded(vals []float64) []string {
 }
 
 func anyKnown(exp string) bool {
-	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation defense stats sweep perf scale"
+	known := "all fig2 fig3 fig4 fig5 table2 theorem1 commcost codec ablation defense stats sweep perf scale straggler"
 	for _, k := range strings.Fields(known) {
 		if exp == k {
 			return true

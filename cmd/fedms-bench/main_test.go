@@ -76,6 +76,100 @@ func TestBenchPerfWritesValidJSON(t *testing.T) {
 	}
 }
 
+func TestBenchPerfReportsAsyncRound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fedms.json")
+	if err := run([]string{"-exp", "perf", "-quick", "-benchout", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	// v7 gates the async_round section through bench-diff; the three
+	// engine regimes plus the weighted kernels must all be present and
+	// non-degenerate.
+	want := map[string]bool{
+		"async_round/weighted/trimmed_mean": false,
+		"async_round/weighted/median":       false,
+		"async_round/sync_baseline":         false,
+		"async_round/fresh":                 false,
+		"async_round/stale":                 false,
+	}
+	for _, e := range report.AsyncRound {
+		if e.Iters <= 0 || e.NsPerOp <= 0 {
+			t.Fatalf("degenerate async_round entry: %+v", e)
+		}
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("async_round section is missing %s: %+v", name, report.AsyncRound)
+		}
+	}
+}
+
+func TestBenchStragglerWritesCurve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "straggler_curve.json")
+	if err := run([]string{"-exp", "straggler", "-quick", "-stragglerout", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve stragglerCurve
+	if err := json.Unmarshal(data, &curve); err != nil {
+		t.Fatalf("straggler_curve.json is not valid JSON: %v", err)
+	}
+	if curve.Schema != BenchSchema || len(curve.Points) == 0 {
+		t.Fatalf("degenerate curve: %+v", curve)
+	}
+	for _, p := range curve.Points {
+		if p.SyncNs <= 0 || p.AsyncNs <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		// The async round may add at most one window plus the
+		// dissemination tail on top of nothing — it must never track the
+		// straggler the way the sync barrier does.
+		if p.Slowdown >= 10 && p.AsyncNs >= p.SyncNs {
+			t.Fatalf("slowdown %.0fx: async %v >= sync %v, async round is not bounded by the window",
+				p.Slowdown, p.AsyncNs, p.SyncNs)
+		}
+		if p.Slowdown >= 10 && p.Late == 0 {
+			t.Fatalf("slowdown %.0fx: straggler uploads not counted late: %+v", p.Slowdown, p)
+		}
+	}
+	// Sync tracks the straggler: the last (largest) slowdown must cost
+	// strictly more than the first.
+	first, last := curve.Points[0], curve.Points[len(curve.Points)-1]
+	if last.SyncNs <= first.SyncNs {
+		t.Fatalf("sync round time did not grow with the straggler: %+v -> %+v", first, last)
+	}
+	// Async stays put: once the straggler misses the window the round
+	// time is window + dissemination tail, identical no matter how slow
+	// the straggler gets.
+	if last.AsyncNs > 2*curve.WindowNs {
+		t.Fatalf("async round %v exceeds window %v plus a dissemination tail", last.AsyncNs, curve.WindowNs)
+	}
+	var capped []float64
+	for _, p := range curve.Points {
+		if p.Slowdown >= 10 {
+			capped = append(capped, p.AsyncNs)
+		}
+	}
+	for _, ns := range capped {
+		if ns != capped[0] {
+			t.Fatalf("async round time varies past the window cap: %v", capped)
+		}
+	}
+}
+
 func TestBenchRejectsUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "nonsense"}); err == nil {
 		t.Fatal("unknown experiment must error")

@@ -33,8 +33,11 @@ import (
 // loss_rule section (FedGreed/LossCluster through the oracle dispatch
 // vs their geometry-only fallback); v6 added the scale section (the
 // cheap prefix of the `-exp scale` rounds/sec-vs-K curve through the
-// two-tier shard tree, with peak per-shard accumulator bytes).
-const BenchSchema = "fedms-bench/perf/v6"
+// two-tier shard tree, with peak per-shard accumulator bytes); v7
+// added the async_round section (the weighted aggregation kernels the
+// bounded-staleness admission path threads stale weights through, plus
+// engine rounds in sync, fresh-async and stale-async regimes).
+const BenchSchema = "fedms-bench/perf/v7"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -104,7 +107,16 @@ type BenchReport struct {
 	// ablation, distributed smoke point) lives in `-exp scale`; this
 	// section is the cheap prefix so bench-diff gates regressions.
 	Scale []BenchEntry `json:"scale,omitempty"`
-	Round RoundBench   `json:"round"`
+	// AsyncRound measures the bounded-staleness round machinery: the
+	// weighted aggregation kernels (the async admission path threads
+	// w(s)=1/(1+s) staleness weights through the same rules the sync
+	// barrier runs unweighted) and full engine rounds in three regimes —
+	// the sync barrier baseline, an async window wide enough that every
+	// upload lands fresh (the bit-identical regime), and a narrow window
+	// that pushes uploads through stale admission and deferral every
+	// round.
+	AsyncRound []BenchEntry `json:"async_round,omitempty"`
+	Round      RoundBench   `json:"round"`
 }
 
 // measure averages fn over enough iterations to fill minTime, reporting
@@ -429,6 +441,65 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 			return nil, fmt.Errorf("scale benchmark: %w", err)
 		}
 		report.Scale = entries
+	}
+
+	fmt.Fprintln(out, "Performance pass (async bounded-staleness rounds):")
+	{
+		// Weighted kernels: the async admission path threads per-upload
+		// staleness weights through the same rules the sync barrier runs
+		// unweighted; these entries price that threading against the
+		// unweighted aggregate section above.
+		for _, d := range dims {
+			vecs := benchVecs(seed^0xa57c, n, d)
+			weights := make([]float64, n)
+			for i := range weights {
+				weights[i] = 1.0 / float64(1+i%3) // w(s) = 1/(1+s), s cycling 0..2
+			}
+			dst := make([]float64, d)
+			wtm := aggregate.TrimmedMean{Beta: 0.2, Workers: 1}
+			add(&report.AsyncRound, "async_round/weighted/trimmed_mean", d, n, 1, func() {
+				aggregate.AggregateWeighted(wtm, dst, vecs, weights)
+			})
+			wmed := aggregate.CoordinateMedian{Workers: 1}
+			add(&report.AsyncRound, "async_round/weighted/median", d, n, 1, func() {
+				aggregate.AggregateWeighted(wmed, dst, vecs, weights)
+			})
+		}
+
+		// Engine rounds under the virtual clock. The stale regime's
+		// window is a quarter of the latency scale, so every round pushes
+		// uploads through stale admission, down-weighting and deferral.
+		mk := func(name string, async bool, window time.Duration, staleness int) error {
+			cfg := fedms.Config{
+				Clients: 12, Servers: 3, NumByzantine: 1,
+				Rounds: 8, LocalSteps: 1, TrimBeta: 0.2,
+				Attack:    fedms.NoiseAttack{},
+				Dataset:   fedms.DatasetSpec{Kind: fedms.DatasetBlobs, Samples: 1200},
+				Model:     fedms.ModelSpec{Kind: fedms.ModelMLP, Hidden: []int{32}},
+				Seed:      seed,
+				EvalEvery: -1,
+				Async:     async, Window: window, Staleness: staleness,
+			}
+			if quick {
+				cfg.Clients = 6
+				cfg.Dataset.Samples = 600
+			}
+			eng, err := fedms.BuildEngine(cfg)
+			if err != nil {
+				return err
+			}
+			add(&report.AsyncRound, name, eng.Dim(), cfg.Clients, 0, func() { eng.RunRound() })
+			return nil
+		}
+		if err := mk("async_round/sync_baseline", false, 0, 0); err != nil {
+			return nil, fmt.Errorf("async round benchmark: %w", err)
+		}
+		if err := mk("async_round/fresh", true, time.Second, 2); err != nil {
+			return nil, fmt.Errorf("async round benchmark: %w", err)
+		}
+		if err := mk("async_round/stale", true, time.Second/4, 2); err != nil {
+			return nil, fmt.Errorf("async round benchmark: %w", err)
+		}
 	}
 
 	fmt.Fprintln(out, "Performance pass (round wall-clock):")

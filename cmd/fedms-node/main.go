@@ -84,6 +84,14 @@ type options struct {
 	faultCrash    int
 	minModels     int
 
+	async        bool
+	window       time.Duration
+	staleness    int
+	spillDir     string
+	spillMem     int
+	ckptPath     string
+	latencyScale time.Duration
+
 	codec     string
 	downCodec string
 	// upSpec and downSpec are the parsed forms of codec and downCodec,
@@ -149,6 +157,13 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
 	fs.IntVar(&o.faultCrash, "fault-crash", 0, "crash this PS after serving N rounds (ps role; local role crashes the last PS)")
 	fs.IntVar(&o.minModels, "min-models", 0, "tolerant client: accept a round with >= this many global models (0 = strict, require all P)")
+	fs.BoolVar(&o.async, "async", false, "bounded-staleness async rounds: each PS aggregates what arrives within -window, admitting uploads up to -staleness rounds late")
+	fs.DurationVar(&o.window, "window", 0, "async per-round aggregation window (0 = default; requires -async)")
+	fs.IntVar(&o.staleness, "staleness", 0, "max rounds an upload may be late and still count, down-weighted 1/(1+s) (requires -async)")
+	fs.StringVar(&o.spillDir, "spill-dir", "", "directory for the PS deferred-upload spill segment (requires -async; empty = OS temp dir)")
+	fs.IntVar(&o.spillMem, "spill-mem", 0, "in-memory byte budget for deferred uploads before spilling to disk (requires -async; 0 = default)")
+	fs.StringVar(&o.ckptPath, "checkpoint", "", "PS checkpoint file persisting the round horizon and spill manifest each window; resumes after restart (requires -async)")
+	fs.DurationVar(&o.latencyScale, "latency-scale", 0, "client virtual upload-latency scale; an upload arrives floor(U[0,scale)/window) rounds after its origin (0 = default; requires -async)")
 	fs.StringVar(&o.codec, "codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed (e.g. ef+topk:0.1)")
 	fs.StringVar(&o.downCodec, "downlink-codec", "dense", "downlink codec spec (same grammar, no ef+; dense keeps the wire byte-identical to v1)")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus metrics at /metrics and pprof at /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
@@ -158,6 +173,44 @@ func parseFlags(args []string) (*options, error) {
 		return nil, err
 	}
 	return o, nil
+}
+
+// validateAsync fail-fasts the bounded-staleness knobs before any
+// socket opens, mirroring node.NewPS and node.RunClient validation but
+// reporting the offending flag by name. The async/server-rule
+// compatibility check lives in run() after resolveRules.
+func (o *options) validateAsync() error {
+	if !o.async {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{o.window != 0, "-window"},
+			{o.staleness != 0, "-staleness"},
+			{o.spillDir != "", "-spill-dir"},
+			{o.spillMem != 0, "-spill-mem"},
+			{o.ckptPath != "", "-checkpoint"},
+			{o.latencyScale != 0, "-latency-scale"},
+		} {
+			if f.set {
+				return fmt.Errorf("%s requires -async", f.name)
+			}
+		}
+		return nil
+	}
+	if o.window < 0 {
+		return fmt.Errorf("-window: must be non-negative, got %v", o.window)
+	}
+	if o.staleness < 0 {
+		return fmt.Errorf("-staleness: must be non-negative, got %d", o.staleness)
+	}
+	if o.spillMem < 0 {
+		return fmt.Errorf("-spill-mem: must be non-negative, got %d", o.spillMem)
+	}
+	if o.latencyScale < 0 {
+		return fmt.Errorf("-latency-scale: must be non-negative, got %v", o.latencyScale)
+	}
+	return nil
 }
 
 // faultInjector builds the process-wide fault injector, or nil when no
@@ -222,6 +275,11 @@ func run(args []string) error {
 	if o.shards < 0 {
 		return fmt.Errorf("-shards: must be non-negative, got %d", o.shards)
 	}
+	// The async knobs fail fast here too; the rule-compatibility half of
+	// the check runs after resolveRules below.
+	if err := o.validateAsync(); err != nil {
+		return err
+	}
 	// Codec specs are validated here, before any socket opens, so a typo
 	// fails with a usage message instead of a half-started federation.
 	if o.upSpec, err = compress.ParseSpec(o.codec); err != nil {
@@ -238,6 +296,11 @@ func run(args []string) error {
 	// half-started federation behind.
 	if err := o.resolveRules(); err != nil {
 		return err
+	}
+	// Async admission down-weights stale uploads before the robust rule,
+	// so the benign servers' rule must expose a weighted kernel.
+	if o.async && !aggregate.IsWeighted(o.serverRuleObj) {
+		return fmt.Errorf("-async requires a weighted -server-rule (mean, trim:b, median), got %s", o.serverRuleObj.Name())
 	}
 	st, err := o.setupObs()
 	if err != nil {
@@ -555,6 +618,12 @@ func runPS(o *options, st *obsState) error {
 		ServerRule:      o.serverRule(),
 		LossOracle:      o.oracle,
 		Shards:          o.shards,
+		Async:           o.async,
+		Window:          o.window,
+		Staleness:       o.staleness,
+		SpillDir:        o.spillDir,
+		SpillMem:        o.spillMem,
+		CheckpointPath:  o.ckptPath,
 		DownlinkCodec:   o.downlinkCodec(o.id),
 		Seed:            o.seed,
 		Key:             o.authKey(),
@@ -607,6 +676,10 @@ func runClientRole(o *options, st *obsState) error {
 		Schedule:              nn.ConstantLR(o.lr),
 		Codec:                 o.clientCodec(o.id),
 		AcceptEncodedDownlink: !o.downSpec.IsDense(),
+		Async:                 o.async,
+		Window:                o.window,
+		Staleness:             o.staleness,
+		LatencyScale:          o.latencyScale,
 		Seed:                  o.seed,
 		Key:                   o.authKey(),
 		Timeout:               o.timeout,
@@ -658,6 +731,12 @@ func runLocal(o *options, st *obsState) error {
 		if o.faultCrash > 0 && i == o.servers-1 {
 			crash = o.faultCrash
 		}
+		// Every local PS gets its own checkpoint file: they would
+		// otherwise race on the shared path and spill segment.
+		ckpt := ""
+		if o.ckptPath != "" {
+			ckpt = fmt.Sprintf("%s.ps%d", o.ckptPath, i)
+		}
 		ps, err := node.NewPS(node.PSConfig{
 			ID:              i,
 			ListenAddr:      "127.0.0.1:0",
@@ -667,6 +746,12 @@ func runLocal(o *options, st *obsState) error {
 			ServerRule:      o.serverRule(),
 			LossOracle:      o.oracle,
 			Shards:          o.shards,
+			Async:           o.async,
+			Window:          o.window,
+			Staleness:       o.staleness,
+			SpillDir:        o.spillDir,
+			SpillMem:        o.spillMem,
+			CheckpointPath:  ckpt,
 			DownlinkCodec:   o.downlinkCodec(i),
 			Seed:            o.seed,
 			Key:             o.authKey(),
@@ -736,6 +821,10 @@ func runLocal(o *options, st *obsState) error {
 				Schedule:              nn.ConstantLR(o.lr),
 				Codec:                 o.clientCodec(id),
 				AcceptEncodedDownlink: !o.downSpec.IsDense(),
+				Async:                 o.async,
+				Window:                o.window,
+				Staleness:             o.staleness,
+				LatencyScale:          o.latencyScale,
 				Seed:                  o.seed,
 				Key:                   o.authKey(),
 				Timeout:               o.timeout,

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNodeLocalFederation(t *testing.T) {
@@ -210,6 +211,74 @@ func TestNodeRejectsBadRuleSpecs(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestNodeLocalAsyncFederation(t *testing.T) {
+	// Async local federation: with the default -latency-scale well under
+	// this -window every upload arrives fresh, so the run is
+	// deterministic and completes like the sync barrier would.
+	err := run([]string{
+		"-role", "local", "-clients", "4", "-servers", "2",
+		"-async", "-window", "2s", "-staleness", "2",
+		"-rounds", "3", "-samples", "800", "-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeRejectsBadAsyncFlags(t *testing.T) {
+	// The async knobs get the same pre-socket validation as the codec
+	// and rule specs: every rejection fires at flag resolution, naming
+	// the offending flag, before any listener binds.
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"window without async", []string{"-window", "500ms"}, "-window"},
+		{"staleness without async", []string{"-staleness", "2"}, "-staleness"},
+		{"spill dir without async", []string{"-spill-dir", "/tmp"}, "-spill-dir"},
+		{"spill mem without async", []string{"-spill-mem", "1024"}, "-spill-mem"},
+		{"checkpoint without async", []string{"-checkpoint", "ps.ckpt"}, "-checkpoint"},
+		{"latency scale without async", []string{"-latency-scale", "1s"}, "-latency-scale"},
+		{"negative window", []string{"-async", "-window", "-1s"}, "-window"},
+		{"negative staleness", []string{"-async", "-staleness", "-1"}, "-staleness"},
+		{"negative spill mem", []string{"-async", "-spill-mem", "-1"}, "-spill-mem"},
+		{"negative latency scale", []string{"-async", "-latency-scale", "-1s"}, "-latency-scale"},
+		{"unweighted server rule", []string{"-async", "-server-rule", "krum", "-full-upload"}, "weighted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-role", "local", "-clients", "2", "-servers", "2", "-rounds", "1"}, tc.args...)
+			err := run(args)
+			if err == nil {
+				t.Fatalf("%v accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNodeAsyncFlagsParsed(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-async", "-window", "750ms", "-staleness", "3",
+		"-spill-dir", "/tmp/spill", "-spill-mem", "4096",
+		"-checkpoint", "ps.ckpt", "-latency-scale", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.async || o.window != 750*time.Millisecond || o.staleness != 3 ||
+		o.spillDir != "/tmp/spill" || o.spillMem != 4096 ||
+		o.ckptPath != "ps.ckpt" || o.latencyScale != 3*time.Second {
+		t.Fatalf("async flags not captured: %+v", o)
+	}
+	if err := o.validateAsync(); err != nil {
+		t.Fatalf("valid async flags rejected: %v", err)
 	}
 }
 

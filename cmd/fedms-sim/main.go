@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"fedms"
+	"fedms/internal/aggregate"
 	"fedms/internal/attack"
 	"fedms/internal/checkpoint"
 	"fedms/internal/metrics"
@@ -55,6 +56,11 @@ func run(args []string) error {
 		upload     = fs.String("upload", "sparse", "upload strategy: sparse|full|round_robin")
 		partic     = fs.Float64("participation", 1, "fraction of clients active per round, in (0, 1]")
 		shards     = fs.Int("shards", 0, "server-side aggregation shards (>1 streams uploads through the two-tier shard tree; 0/1 unsharded)")
+		asyncMode  = fs.Bool("async", false, "bounded-staleness async rounds: aggregate the uploads arriving within -window of virtual time, admitting uploads up to -staleness rounds late")
+		window     = fs.Duration("window", 0, "async aggregation window in virtual time (0 = default; requires -async)")
+		staleness  = fs.Int("staleness", 0, "max rounds an upload may be late and still count, down-weighted 1/(1+s) (requires -async)")
+		spillDir   = fs.String("spill-dir", "", "directory for the deferred-upload spill segment (requires -async; empty = OS temp dir)")
+		spillMem   = fs.Int("spill-mem", 0, "in-memory byte budget for deferred uploads before spilling to disk (requires -async; 0 = default)")
 		codec      = fs.String("codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed")
 		downCodec  = fs.String("downlink-codec", "dense", "downlink codec spec (same grammar, no ef+)")
 		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
@@ -88,6 +94,41 @@ func run(args []string) error {
 	if *shards < 0 {
 		return fmt.Errorf("-shards: must be non-negative, got %d", *shards)
 	}
+	// The async knobs fail fast with the flag name, mirroring the
+	// core.Config validation that would otherwise fire inside
+	// BuildEngine without naming the offending flag.
+	if *asyncMode {
+		if *window < 0 {
+			return fmt.Errorf("-window: must be non-negative, got %v", *window)
+		}
+		if *staleness < 0 {
+			return fmt.Errorf("-staleness: must be non-negative, got %d", *staleness)
+		}
+		if *spillMem < 0 {
+			return fmt.Errorf("-spill-mem: must be non-negative, got %d", *spillMem)
+		}
+		// Stale uploads are down-weighted before the robust rule, so
+		// the servers' rule must expose a weighted kernel.
+		if *serverSpec != "" {
+			if r, err := fedms.ParseRule(*serverSpec); err == nil && !aggregate.IsWeighted(r) {
+				return fmt.Errorf("-async requires a weighted -server-rule (mean, trim:b, median), got %s", r.Name())
+			}
+		}
+	} else {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*window != 0, "-window"},
+			{*staleness != 0, "-staleness"},
+			{*spillDir != "", "-spill-dir"},
+			{*spillMem != 0, "-spill-mem"},
+		} {
+			if f.set {
+				return fmt.Errorf("%s requires -async", f.name)
+			}
+		}
+	}
 	up := fedms.SparseUpload
 	switch *upload {
 	case "sparse":
@@ -111,6 +152,11 @@ func run(args []string) error {
 		Upload:        up,
 		Participation: *partic,
 		Shards:        *shards,
+		Async:         *asyncMode,
+		Window:        *window,
+		Staleness:     *staleness,
+		SpillDir:      *spillDir,
+		SpillMem:      *spillMem,
 		Attack:        atk,
 		LearningRate:  *lr,
 		Dataset: fedms.DatasetSpec{

@@ -27,6 +27,7 @@ package fedms
 
 import (
 	"fmt"
+	"time"
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
@@ -261,6 +262,23 @@ type Config struct {
 	// value; rules without a sharded kernel fall back. 0 or 1 disables
 	// sharding.
 	Shards int
+	// Async switches the round lifecycle from the synchronous barrier
+	// to bounded-staleness windowed aggregation (see core.Config.Async):
+	// each round a PS aggregates what arrived inside Window, admits
+	// uploads up to Staleness rounds late at weight 1/(1+s), and spills
+	// further-future arrivals to a bounded buffer. A window of at least
+	// one virtual latency scale makes async bit-identical to sync.
+	Async bool
+	// Window is the per-round aggregation window on the engine's seeded
+	// virtual clock (default sched.DefaultLatencyScale/4).
+	Window time.Duration
+	// Staleness is the admission bound S (0 = only fresh uploads).
+	Staleness int
+	// SpillDir and SpillMem shape the deferred-upload spill buffer (see
+	// core.Config.SpillDir): records beyond SpillMem bytes go to a
+	// CRC-framed segment file; negative SpillMem forces all to disk.
+	SpillDir string
+	SpillMem int
 	// Attack is the Byzantine behaviour (default NoAttack).
 	Attack Attack
 	// NumByzantineClients and ClientAttack enable the two-sided threat
@@ -483,6 +501,11 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		Upload:              cfg.Upload,
 		Participation:       cfg.Participation,
 		Shards:              cfg.Shards,
+		Async:               cfg.Async,
+		Window:              cfg.Window,
+		Staleness:           cfg.Staleness,
+		SpillDir:            cfg.SpillDir,
+		SpillMem:            cfg.SpillMem,
 		Attack:              cfg.Attack,
 		Filter:              filter,
 		Schedule:            sched,

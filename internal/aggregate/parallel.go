@@ -89,6 +89,8 @@ func forEachCoordChunk(d, n, workers int, fn func(lo, hi int)) {
 // read, so reuse cannot perturb a seeded run.
 type chunkScratch struct {
 	col, win []float64
+	wcol     []float64 // weighted kernels: per-column mutable weight copy
+	pairs    []wpair   // weighted kernels: stable value/weight co-sort
 	rows     []float64 // mixed payload gather: n × tile row buffer
 	entVal   []float64 // sparse payload gather: tile entry values
 	cnt      []int32   // sparse payload gather: per-column entry counts

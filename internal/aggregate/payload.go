@@ -180,6 +180,15 @@ const payloadGatherTile = 256
 // (every sum of +0.0s divided by the kept count) and median (middle
 // of an all-+0.0 column), the two rules on this path.
 func gatherPayloadColumns(ps []compress.Payload, d, workers int, out []float64, winLen int, reduce func(col, win []float64) float64) {
+	gatherPayloadColumnsScratch(ps, d, workers, out, winLen, func(col, win []float64, _ *chunkScratch) float64 {
+		return reduce(col, win)
+	})
+}
+
+// gatherPayloadColumnsScratch is gatherPayloadColumns with the chunk
+// worker's scratch threaded into reduce, for kernels (the weighted
+// variants) that need extra per-worker mutable state beyond col/win.
+func gatherPayloadColumnsScratch(ps []compress.Payload, d, workers int, out []float64, winLen int, reduce func(col, win []float64, s *chunkScratch) float64) {
 	n := len(ps)
 	allSparse := true
 	for i := range ps {
@@ -204,7 +213,7 @@ func gatherPayloadColumns(ps []compress.Payload, d, workers int, out []float64, 
 // per-column entry lists (one cursor per view — supports are strictly
 // increasing, so each view is consumed in one forward pass), then
 // reduces only the columns at least one view touched.
-func gatherSparseChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64) float64) {
+func gatherSparseChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64, s *chunkScratch) float64) {
 	n := len(ps)
 	col, win := s.col, s.win
 	cnt := grownInt32s(s.cnt, payloadGatherTile)
@@ -249,7 +258,7 @@ func gatherSparseChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out [
 			for e := 0; e < int(cnt[j]); e++ {
 				col[entOwner[base+e]] = entVal[base+e]
 			}
-			out[tlo+j] = reduce(col, win)
+			out[tlo+j] = reduce(col, win, s)
 		}
 	}
 }
@@ -257,7 +266,7 @@ func gatherSparseChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out [
 // gatherMixedChunk processes [lo, hi) when at least one view is dense
 // or quantized: every view gathers its tile slice into a shared row
 // buffer (bounded n·tile, never n·d), and every column reduces.
-func gatherMixedChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64) float64) {
+func gatherMixedChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []float64, reduce func(col, win []float64, s *chunkScratch) float64) {
 	n := len(ps)
 	col, win := s.col, s.win
 	rows := grownFloats(s.rows, n*payloadGatherTile)
@@ -275,7 +284,7 @@ func gatherMixedChunk(ps []compress.Payload, lo, hi int, s *chunkScratch, out []
 			for i := 0; i < n; i++ {
 				col[i] = rows[i*payloadGatherTile+j]
 			}
-			out[tlo+j] = reduce(col, win)
+			out[tlo+j] = reduce(col, win, s)
 		}
 	}
 }

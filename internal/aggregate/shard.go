@@ -44,40 +44,45 @@ import (
 const shardQueueDepth = 64
 
 // shardMsg is one routed upload: the member id that orders the row at
-// reduce time and the payload view to transpose.
+// reduce time, the payload view to transpose, and the row's
+// aggregation weight (1 on the unweighted path).
 type shardMsg struct {
 	id int
 	p  compress.Payload
+	w  float64
 }
 
 // shardRow records one ingested row of a shard: dense rows live in the
 // column-major block at slot, sparse rows own the arena entry range
-// [start, end).
+// [start, end). w is the row's aggregation weight.
 type shardRow struct {
 	id    int
 	slot  int // block column slot; -1 for sparse rows
 	start int
 	end   int
+	w     float64
 }
 
-// shardRowBytes is the accounting size of one shardRow (four ints).
-const shardRowBytes = 32
+// shardRowBytes is the accounting size of one shardRow (four ints plus
+// the weight).
+const shardRowBytes = 40
 
 // Sharded streams member payloads through a coordinate-sharded
 // aggregation tree for one aggregation (one PS round). Offer may be
 // called from a single goroutine; Finalize (or Abort) completes the
 // tree. A Sharded is one-shot: construct a new one per aggregation.
 type Sharded struct {
-	rule    Rule
-	d       int
-	shards  []*aggShard
-	queues  []chan shardMsg
-	wg      sync.WaitGroup
-	out     []float64
-	offered int
-	aborted atomic.Bool
-	peak    atomic.Int64
-	done    bool
+	rule     Rule
+	d        int
+	weighted bool
+	shards   []*aggShard
+	queues   []chan shardMsg
+	wg       sync.WaitGroup
+	out      []float64
+	offered  int
+	aborted  atomic.Bool
+	peak     atomic.Int64
+	done     bool
 }
 
 // ShardableRule reports whether rule r has a coordinate-sharded path:
@@ -122,6 +127,17 @@ func NewSharded(r Rule, d, shards, rowsHint int) (*Sharded, bool) {
 	return s, true
 }
 
+// NewShardedWeighted is NewSharded for a weighted aggregation: rows
+// arrive via OfferWeighted and reduce through the weighted kernels
+// (bit-identical to NewSharded at weight ≡ 1).
+func NewShardedWeighted(r Rule, d, shards, rowsHint int) (*Sharded, bool) {
+	s, ok := NewSharded(r, d, shards, rowsHint)
+	if ok {
+		s.weighted = true
+	}
+	return s, ok
+}
+
 // NumShards returns the number of shards actually built (at most the
 // requested count, never more than d).
 func (s *Sharded) NumShards() int { return len(s.shards) }
@@ -132,11 +148,20 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // Member ids must be unique; rows are ordered by ascending id at reduce
 // time regardless of arrival order.
 func (s *Sharded) Offer(id int, p compress.Payload) {
+	s.OfferWeighted(id, p, 1)
+}
+
+// OfferWeighted is Offer with the row's aggregation weight; the weight
+// only takes effect on a tree built by NewShardedWeighted.
+func (s *Sharded) OfferWeighted(id int, p compress.Payload, w float64) {
 	if p.Dim() != s.d {
 		panic(fmt.Sprintf("aggregate: sharded %s input has dim %d, want %d", s.rule.Name(), p.Dim(), s.d))
 	}
+	if s.weighted && (!(w > 0) || w > 1e300) {
+		panic(fmt.Sprintf("aggregate: sharded %s weight %v, want positive and finite", s.rule.Name(), w))
+	}
 	for i := range s.queues {
-		s.queues[i] <- shardMsg{id: id, p: p}
+		s.queues[i] <- shardMsg{id: id, p: p, w: w}
 	}
 	s.offered++
 }
@@ -235,7 +260,7 @@ func (sh *aggShard) ingest(msg shardMsg) {
 			sh.entIdx = append(sh.entIdx, idx[c]-uint32(sh.lo))
 			sh.entVal = append(sh.entVal, val[c])
 		}
-		sh.rows = append(sh.rows, shardRow{id: msg.id, slot: -1, start: start, end: len(sh.entIdx)})
+		sh.rows = append(sh.rows, shardRow{id: msg.id, slot: -1, start: start, end: len(sh.entIdx), w: msg.w})
 		return
 	}
 	width := sh.hi - sh.lo
@@ -251,7 +276,7 @@ func (sh *aggShard) ingest(msg shardMsg) {
 	for jl, v := range sh.scratch {
 		sh.block[jl*sh.capRows+slot] = v
 	}
-	sh.rows = append(sh.rows, shardRow{id: msg.id, slot: slot})
+	sh.rows = append(sh.rows, shardRow{id: msg.id, slot: slot, w: msg.w})
 }
 
 // growBlock doubles the block's row capacity, re-striding the existing
@@ -284,6 +309,15 @@ func (sh *aggShard) reduce(out []float64) {
 	kernel, winLen := shardKernel(sh.parent.rule, n)
 	width := sh.hi - sh.lo
 	s := getChunkScratch(n, winLen)
+	if sh.parent.weighted {
+		// Row weights in sorted order; a fresh slice, not chunk scratch,
+		// because the weighted kernels use s.wcol for their own copies.
+		wrow := make([]float64, n)
+		for i := range sh.rows {
+			wrow[i] = sh.rows[i].w
+		}
+		kernel = weightedShardKernel(sh.parent.rule, wrow, s)
+	}
 	col, win := s.col, s.win
 	curs := grownInts(s.cur, n)
 	s.cur = curs
@@ -372,6 +406,41 @@ func shardKernel(r Rule, n int) (kernel func(col, win []float64) float64, winLen
 	panic(fmt.Sprintf("aggregate: shardKernel on unshardable rule %s", r.Name()))
 }
 
+// weightedShardKernel returns the weighted per-coordinate kernel over
+// rows weighted by wrow (sorted-row order). The closures capture the
+// shard goroutine's own scratch, so they are race-free, and they
+// mirror the unweighted kernels' arithmetic exactly at weight ≡ 1
+// (same scan order, same single reciprocal for the mean). The window
+// length matches shardKernel's for the same (rule, n).
+func weightedShardKernel(r Rule, wrow []float64, s *chunkScratch) func(col, win []float64) float64 {
+	n := len(wrow)
+	switch t := r.(type) {
+	case Mean:
+		wsum := 0.0
+		for _, w := range wrow {
+			wsum += w
+		}
+		inv := 1 / wsum
+		return func(col, _ []float64) float64 {
+			sum := 0.0
+			for i, v := range col {
+				sum += wrow[i] * v
+			}
+			return sum * inv
+		}
+	case TrimmedMean:
+		m := t.TrimCount(n)
+		return func(col, win []float64) float64 {
+			return weightedTrimmedMeanOf(col, wrow, m, win, s)
+		}
+	case CoordinateMedian:
+		return func(col, _ []float64) float64 {
+			return weightedMedianOf(col, wrow, s)
+		}
+	}
+	panic(fmt.Sprintf("aggregate: weightedShardKernel on unshardable rule %s", r.Name()))
+}
+
 // ShardAggregatePayloads aggregates payload views through the shard
 // tree when the rule and geometry allow it, falling back to
 // AggregatePayloadsInto otherwise. ps must be ordered by ascending
@@ -388,6 +457,24 @@ func ShardAggregatePayloads(r Rule, dst []float64, ps []compress.Payload, shards
 	}
 	for i := range ps {
 		sa.Offer(i, ps[i])
+	}
+	return sa.Finalize(dst), true, sa.PeakShardBytes()
+}
+
+// ShardAggregateWeightedPayloads is ShardAggregatePayloads for a
+// weighted row set: ps must be ordered ascending by member id with
+// weights aligned, and the fallback is the fused weighted path. At
+// weight ≡ 1 it is bit-identical to ShardAggregatePayloads.
+func ShardAggregateWeightedPayloads(r Rule, dst []float64, ps []compress.Payload, weights []float64, shards int) (out []float64, sharded bool, peakBytes int64) {
+	d := checkPayloads(ps, r.Name())
+	checkWeights(len(ps), weights, r.Name())
+	sa, ok := NewShardedWeighted(r, d, shards, len(ps))
+	if !ok {
+		out, _ = AggregateWeightedPayloads(r, dst, ps, weights)
+		return out, false, 0
+	}
+	for i := range ps {
+		sa.OfferWeighted(i, ps[i], weights[i])
 	}
 	return sa.Finalize(dst), true, sa.PeakShardBytes()
 }

@@ -1,0 +1,88 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Async scheduler state rides in a checkpoint's free-form metadata
+// rather than a new format version: a tolerant PS restarting from an
+// async checkpoint needs the window geometry it was closing rounds
+// with and a pointer to the spill segment holding its still-in-flight
+// uploads (State.Round already carries the round horizon). Sync
+// checkpoints simply carry none of the keys, so the format stays
+// byte-compatible in both directions.
+
+// Metadata keys for AsyncState. Exported so operators can read them
+// off a checkpoint with generic tooling.
+const (
+	MetaAsyncWindow       = "async.window_ns"
+	MetaAsyncStaleness    = "async.staleness"
+	MetaAsyncSpillPath    = "async.spill_path"
+	MetaAsyncSpillRecords = "async.spill_records"
+	MetaAsyncSpillBytes   = "async.spill_bytes"
+)
+
+// AsyncState is the windowed-lifecycle restart state persisted
+// alongside a model checkpoint.
+type AsyncState struct {
+	// Window is the per-round aggregation window.
+	Window time.Duration
+	// Staleness is the admission bound S.
+	Staleness int
+	// SpillPath locates the flushed spill segment with the uploads
+	// still in flight toward future rounds ("" when none were).
+	SpillPath string
+	// SpillRecords and SpillBytes describe that segment, letting a
+	// restart sanity-check what spill.Open recovered.
+	SpillRecords int
+	SpillBytes   int64
+}
+
+// WriteAsyncMeta stores a into st.Meta, allocating the map if needed.
+func WriteAsyncMeta(st *State, a AsyncState) {
+	if st.Meta == nil {
+		st.Meta = make(map[string]string, 5)
+	}
+	st.Meta[MetaAsyncWindow] = strconv.FormatInt(int64(a.Window), 10)
+	st.Meta[MetaAsyncStaleness] = strconv.Itoa(a.Staleness)
+	st.Meta[MetaAsyncSpillPath] = a.SpillPath
+	st.Meta[MetaAsyncSpillRecords] = strconv.Itoa(a.SpillRecords)
+	st.Meta[MetaAsyncSpillBytes] = strconv.FormatInt(a.SpillBytes, 10)
+}
+
+// ReadAsyncMeta extracts the async scheduler state from st.Meta. ok is
+// false when the checkpoint carries none (a sync checkpoint); err is
+// non-nil when the keys are present but malformed or out of range.
+func ReadAsyncMeta(st *State) (a AsyncState, ok bool, err error) {
+	w, present := st.Meta[MetaAsyncWindow]
+	if !present {
+		return AsyncState{}, false, nil
+	}
+	ns, err := strconv.ParseInt(w, 10, 64)
+	if err != nil || ns <= 0 {
+		return AsyncState{}, false, fmt.Errorf("checkpoint: bad %s %q", MetaAsyncWindow, w)
+	}
+	a.Window = time.Duration(ns)
+	if s := st.Meta[MetaAsyncStaleness]; s != "" {
+		a.Staleness, err = strconv.Atoi(s)
+		if err != nil || a.Staleness < 0 {
+			return AsyncState{}, false, fmt.Errorf("checkpoint: bad %s %q", MetaAsyncStaleness, s)
+		}
+	}
+	a.SpillPath = st.Meta[MetaAsyncSpillPath]
+	if s := st.Meta[MetaAsyncSpillRecords]; s != "" {
+		a.SpillRecords, err = strconv.Atoi(s)
+		if err != nil || a.SpillRecords < 0 {
+			return AsyncState{}, false, fmt.Errorf("checkpoint: bad %s %q", MetaAsyncSpillRecords, s)
+		}
+	}
+	if s := st.Meta[MetaAsyncSpillBytes]; s != "" {
+		a.SpillBytes, err = strconv.ParseInt(s, 10, 64)
+		if err != nil || a.SpillBytes < 0 {
+			return AsyncState{}, false, fmt.Errorf("checkpoint: bad %s %q", MetaAsyncSpillBytes, s)
+		}
+	}
+	return a, true, nil
+}

@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestAsyncMetaRoundTrip(t *testing.T) {
+	st := &State{Round: 7, Seed: 42, Params: []float64{1, 2, 3}}
+	want := AsyncState{
+		Window:       250 * time.Millisecond,
+		Staleness:    3,
+		SpillPath:    "/tmp/fedms-spill-x.seg",
+		SpillRecords: 12,
+		SpillBytes:   4096,
+	}
+	WriteAsyncMeta(st, want)
+
+	// Through the full binary format, not just the map.
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := ReadAsyncMeta(got)
+	if err != nil || !ok {
+		t.Fatalf("ReadAsyncMeta: ok=%v err=%v", ok, err)
+	}
+	if a != want {
+		t.Fatalf("round-trip: got %+v want %+v", a, want)
+	}
+	if got.Round != 7 {
+		t.Fatalf("Round = %d", got.Round)
+	}
+}
+
+func TestAsyncMetaAbsentOnSyncCheckpoint(t *testing.T) {
+	st := &State{Round: 3, Params: []float64{1}}
+	if _, ok, err := ReadAsyncMeta(st); ok || err != nil {
+		t.Fatalf("sync checkpoint: ok=%v err=%v", ok, err)
+	}
+	st.Meta = map[string]string{"model": "logistic"}
+	if _, ok, err := ReadAsyncMeta(st); ok || err != nil {
+		t.Fatalf("unrelated meta: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAsyncMetaRejectsMalformed(t *testing.T) {
+	cases := []map[string]string{
+		{MetaAsyncWindow: "not-a-number"},
+		{MetaAsyncWindow: "0"},
+		{MetaAsyncWindow: "-5"},
+		{MetaAsyncWindow: "1000", MetaAsyncStaleness: "x"},
+		{MetaAsyncWindow: "1000", MetaAsyncStaleness: "-1"},
+		{MetaAsyncWindow: "1000", MetaAsyncSpillRecords: "1.5"},
+		{MetaAsyncWindow: "1000", MetaAsyncSpillBytes: "-2"},
+	}
+	for i, meta := range cases {
+		st := &State{Meta: meta}
+		if _, _, err := ReadAsyncMeta(st); err == nil {
+			t.Errorf("case %d: meta %v accepted", i, meta)
+		}
+	}
+	// Missing optional keys default to zero values.
+	st := &State{Meta: map[string]string{MetaAsyncWindow: "1000"}}
+	a, ok, err := ReadAsyncMeta(st)
+	if err != nil || !ok || a.Window != 1000 || a.Staleness != 0 || a.SpillPath != "" {
+		t.Fatalf("minimal meta: %+v ok=%v err=%v", a, ok, err)
+	}
+}
+
+// FuzzAsyncMeta throws arbitrary strings at the metadata decoder: it
+// must never panic, and whenever it reports ok it must re-encode to a
+// state that decodes identically.
+func FuzzAsyncMeta(f *testing.F) {
+	f.Add("250000000", "2", "/tmp/x.seg", "3", "512")
+	f.Add("", "", "", "", "")
+	f.Add("-1", "x", "p", "9999999999999999999", "1e9")
+	f.Fuzz(func(t *testing.T, w, s, p, r, b string) {
+		st := &State{Meta: map[string]string{
+			MetaAsyncWindow:       w,
+			MetaAsyncStaleness:    s,
+			MetaAsyncSpillPath:    p,
+			MetaAsyncSpillRecords: r,
+			MetaAsyncSpillBytes:   b,
+		}}
+		a, ok, err := ReadAsyncMeta(st)
+		if err != nil || !ok {
+			return
+		}
+		st2 := &State{}
+		WriteAsyncMeta(st2, a)
+		a2, ok2, err2 := ReadAsyncMeta(st2)
+		if err2 != nil || !ok2 || a2 != a {
+			t.Fatalf("re-encode: %+v -> %+v ok=%v err=%v", a, a2, ok2, err2)
+		}
+	})
+}

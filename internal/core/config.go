@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"time"
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
@@ -11,6 +12,7 @@ import (
 	"fedms/internal/nn"
 	"fedms/internal/obs"
 	"fedms/internal/randx"
+	"fedms/internal/sched"
 )
 
 // UploadStrategy selects how clients distribute their local models to
@@ -131,6 +133,36 @@ type Config struct {
 	// per-coordinate kernel (Krum, Bulyan, the loss rules, …) fall back
 	// to the unsharded path unchanged. 0 or 1 disables sharding.
 	Shards int
+	// Async switches the round lifecycle from the K-frame barrier to
+	// bounded-staleness windowed rounds (sched.Async): each round
+	// aggregates the uploads that arrive within Window of virtual
+	// time, uploads landing up to Staleness rounds late join a later
+	// round's aggregation down-weighted by sched.Weight (1/(1+s),
+	// applied BEFORE the robust rule), and anything later is dropped.
+	// Deferred uploads wait in a disk-backed spill buffer
+	// (internal/spill). Arrival times come from the seeded virtual
+	// clock sched.ArrivalDelay, so async runs are bit-reproducible;
+	// with Window >= sched.DefaultLatencyScale every upload arrives
+	// fresh and the trajectory is bit-identical to Async=false.
+	// Requires a ServerFilter with a weighted kernel
+	// (aggregate.IsWeighted: mean, trimmed_mean, median).
+	Async bool
+	// Window is the async collection window in virtual time (default
+	// sched.DefaultLatencyScale/4). An upload with virtual latency L
+	// arrives floor(L/Window) rounds after its origin. Requires Async.
+	Window time.Duration
+	// Staleness is S, the bound on how many rounds late an upload may
+	// arrive and still aggregate. Zero admits only fresh uploads.
+	// Requires Async (the sync barrier has no stale uploads).
+	Staleness int
+	// SpillDir is the directory for the async deferred-upload buffer's
+	// disk segment (default the OS temp dir). Requires Async.
+	SpillDir string
+	// SpillMem bounds the in-memory bytes of the deferred-upload
+	// buffer; past it records spill to disk (default
+	// spill.DefaultMemLimit; negative forces every record to disk).
+	// Requires Async.
+	SpillMem int
 	// Workers bounds the engine's parallelism (default GOMAXPROCS): the
 	// client training pool, the per-client filter stage, the
 	// coordinate-parallel aggregation path of the filter rules, and the
@@ -265,6 +297,30 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Shards < 0 {
 		return c, fmt.Errorf("core: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Async {
+		if c.Window == 0 {
+			c.Window = sched.DefaultLatencyScale / 4
+		}
+		if c.Window < 0 {
+			return c, fmt.Errorf("core: Window must be positive, got %v", c.Window)
+		}
+		if c.Staleness < 0 {
+			return c, fmt.Errorf("core: Staleness must be non-negative, got %d", c.Staleness)
+		}
+		if !aggregate.IsWeighted(c.ServerFilter) {
+			return c, fmt.Errorf("core: Async requires a ServerFilter with a weighted kernel (mean, trimmed_mean, median), got %s", c.ServerFilter.Name())
+		}
+	} else {
+		if c.Window != 0 {
+			return c, fmt.Errorf("core: Window requires Async")
+		}
+		if c.Staleness != 0 {
+			return c, fmt.Errorf("core: Staleness requires Async")
+		}
+		if c.SpillDir != "" || c.SpillMem != 0 {
+			return c, fmt.Errorf("core: SpillDir/SpillMem require Async")
+		}
 	}
 	if err := c.UploadCodec.Validate(); err != nil {
 		return c, fmt.Errorf("core: UploadCodec: %w", err)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +15,8 @@ import (
 	"fedms/internal/compress"
 	"fedms/internal/obs"
 	"fedms/internal/randx"
+	"fedms/internal/sched"
+	"fedms/internal/spill"
 	"fedms/internal/tensor"
 )
 
@@ -43,6 +47,18 @@ type RoundStats struct {
 	// model and the benign-server mean — a diagnostic of how far the
 	// filter let Byzantine influence leak.
 	ModelSpread float64
+	// Async round accounting, always zero in sync mode: FreshUploads
+	// arrived within their origin round's window, StaleUploads joined
+	// a later round's aggregation with a staleness down-weight, and
+	// DroppedUploads exceeded the staleness bound.
+	FreshUploads   int
+	StaleUploads   int
+	DroppedUploads int
+	// SpillDepth and SpillBytes snapshot the deferred-upload buffer at
+	// window close: records still in flight toward later rounds and
+	// their memory+disk footprint.
+	SpillDepth int
+	SpillBytes int
 	// Elapsed is the wall-clock time of the round.
 	Elapsed time.Duration
 }
@@ -92,7 +108,17 @@ type Engine struct {
 	// result. nil when no oracle is configured.
 	oracle aggregate.LossEval
 
-	round int
+	// sc is the shared round-lifecycle state machine: the engine asks
+	// it for the round cursor and every async admission decision, the
+	// same Scheduler the distributed PS drives.
+	sc *sched.Scheduler
+	// spill buffers async uploads still in flight toward a later
+	// round, overflowing to disk past cfg.SpillMem. nil in sync mode.
+	spill *spill.Buffer
+	// encs[k] is the codec tag of client k's latest upload, kept so
+	// deferred payload bytes can be re-parsed when they arrive. Only
+	// maintained in async mode.
+	encs []compress.Encoding
 
 	// om mirrors round progress into the configured registry; obsOn
 	// gates the extra per-stage clock reads so a fully disabled engine
@@ -169,6 +195,20 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 			return inner(m)
 		}
 	}
+	scfg := sched.Config{Mode: sched.Sync, Rounds: cfg.Rounds}
+	if cfg.Async {
+		scfg.Mode, scfg.Window, scfg.Staleness = sched.Async, cfg.Window, cfg.Staleness
+	}
+	sc, err := sched.New(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var spillBuf *spill.Buffer
+	var encs []compress.Encoding
+	if cfg.Async {
+		spillBuf = spill.New(spill.Config{MemLimit: cfg.SpillMem, Dir: cfg.SpillDir})
+		encs = make([]compress.Encoding, cfg.Clients)
+	}
 	return &Engine{
 		cfg:      cfg,
 		learners: learners,
@@ -177,6 +217,9 @@ func NewEngine(cfg Config, learners []Learner) (*Engine, error) {
 		lastAgg:  lastAgg,
 		codecs:   codecs,
 		oracle:   oracle,
+		sc:       sc,
+		spill:    spillBuf,
+		encs:     encs,
 		om:       newEngineMetrics(cfg.Obs, cfg.ServerFilter.Name()),
 		obsOn:    cfg.Obs != nil || cfg.TraceSink != nil,
 	}, nil
@@ -209,9 +252,11 @@ func (e *Engine) Run() []RoundStats {
 
 // RunRound executes one full round: local training, model aggregation
 // (with the configured upload strategy), Byzantine dissemination, and
-// the client-side model filter.
+// the client-side model filter. In async mode the aggregation stage
+// admits whatever the virtual clock delivered within the round's
+// window — see asyncArrivals.
 func (e *Engine) RunRound() RoundStats {
-	t := e.round
+	t := e.sc.Round()
 	start := time.Now()
 	st := RoundStats{Round: t}
 
@@ -290,6 +335,9 @@ func (e *Engine) RunRound() RoundStats {
 			}
 			views[k] = v
 			uploadBytes[k] = len(e.encBufs[k])
+			if e.encs != nil {
+				e.encs[k] = enc
+			}
 		}
 	} else {
 		for _, k := range active {
@@ -307,51 +355,105 @@ func (e *Engine) RunRound() RoundStats {
 		e.aggBufs = make([][]float64, e.cfg.Servers)
 	}
 	shardable := e.cfg.Shards > 1 && aggregate.ShardableRule(e.cfg.ServerFilter)
-	for i := 0; i < e.cfg.Servers; i++ {
-		members := assign[i]
-		if len(members) == 0 {
-			// No uploads this round: the PS re-disseminates its last
-			// aggregate (it has nothing newer). With K >> P this is
-			// rare under sparse upload.
-			aggs[i] = append([]float64(nil), e.lastAgg[i]...)
-		} else {
-			ordered := make([]compress.Payload, 0, len(members))
-			for _, k := range members {
-				ordered = append(ordered, views[k])
-			}
-			// Benign servers aggregate into their round-persistent
-			// buffer; Byzantine servers get a fresh vector because the
-			// adaptive-adversary history retains theirs.
-			var dst []float64
-			if !e.cfg.IsByzantine(i) {
-				dst = e.aggBufs[i]
-			}
-			if shardable {
-				var peak int64
-				aggs[i], _, peak = aggregate.ShardAggregatePayloads(e.cfg.ServerFilter, dst, ordered, e.cfg.Shards)
-				aggShardedN++
-				if peak > shardPeak {
-					shardPeak = peak
-				}
+	if e.cfg.Async {
+		// Async lifecycle: the round aggregates what its window
+		// delivered — this round's on-time sends plus spill records due
+		// now, stale ones down-weighted before the robust rule.
+		arrivals := e.asyncArrivals(t, assign, views, uploads, &st)
+		for i := 0; i < e.cfg.Servers; i++ {
+			members := arrivals[i]
+			if len(members) == 0 {
+				aggs[i] = append([]float64(nil), e.lastAgg[i]...)
 			} else {
-				var fused bool
-				var evals int
-				aggs[i], fused, evals = aggregate.AggregatePayloadsWithOracleInto(e.cfg.ServerFilter, dst, ordered, e.oracle)
-				if fused {
-					aggFusedN++
-				} else {
-					aggFallbackN++
+				ordered := make([]compress.Payload, len(members))
+				weights := make([]float64, len(members))
+				for j, m := range members {
+					ordered[j], weights[j] = m.view, m.weight
 				}
-				oracleServerN += evals
+				var dst []float64
+				if !e.cfg.IsByzantine(i) {
+					dst = e.aggBufs[i]
+				}
+				if shardable {
+					var peak int64
+					aggs[i], _, peak = aggregate.ShardAggregateWeightedPayloads(e.cfg.ServerFilter, dst, ordered, weights, e.cfg.Shards)
+					aggShardedN++
+					if peak > shardPeak {
+						shardPeak = peak
+					}
+				} else {
+					var fused bool
+					aggs[i], fused = aggregate.AggregateWeightedPayloads(e.cfg.ServerFilter, dst, ordered, weights)
+					if fused {
+						aggFusedN++
+					} else {
+						aggFallbackN++
+					}
+				}
+				if dst != nil {
+					e.aggBufs[i] = aggs[i]
+				}
 			}
-			if dst != nil {
-				e.aggBufs[i] = aggs[i]
+			e.lastAgg[i] = aggs[i]
+		}
+		// Communication is counted at send time (the client pays for
+		// the upload whether or not it lands inside a window), so the
+		// paper's cost measure is lifecycle-independent.
+		for _, members := range assign {
+			st.UploadFloats += len(members) * e.dim
+			for _, k := range members {
+				st.UploadBytes += uploadBytes[k]
 			}
 		}
-		e.lastAgg[i] = aggs[i]
-		st.UploadFloats += len(members) * e.dim
-		for _, k := range members {
-			st.UploadBytes += uploadBytes[k]
+		st.SpillDepth = e.spill.Len()
+		st.SpillBytes = int(e.spill.MemBytes() + e.spill.DiskBytes())
+	} else {
+		for i := 0; i < e.cfg.Servers; i++ {
+			members := assign[i]
+			if len(members) == 0 {
+				// No uploads this round: the PS re-disseminates its last
+				// aggregate (it has nothing newer). With K >> P this is
+				// rare under sparse upload.
+				aggs[i] = append([]float64(nil), e.lastAgg[i]...)
+			} else {
+				ordered := make([]compress.Payload, 0, len(members))
+				for _, k := range members {
+					ordered = append(ordered, views[k])
+				}
+				// Benign servers aggregate into their round-persistent
+				// buffer; Byzantine servers get a fresh vector because the
+				// adaptive-adversary history retains theirs.
+				var dst []float64
+				if !e.cfg.IsByzantine(i) {
+					dst = e.aggBufs[i]
+				}
+				if shardable {
+					var peak int64
+					aggs[i], _, peak = aggregate.ShardAggregatePayloads(e.cfg.ServerFilter, dst, ordered, e.cfg.Shards)
+					aggShardedN++
+					if peak > shardPeak {
+						shardPeak = peak
+					}
+				} else {
+					var fused bool
+					var evals int
+					aggs[i], fused, evals = aggregate.AggregatePayloadsWithOracleInto(e.cfg.ServerFilter, dst, ordered, e.oracle)
+					if fused {
+						aggFusedN++
+					} else {
+						aggFallbackN++
+					}
+					oracleServerN += evals
+				}
+				if dst != nil {
+					e.aggBufs[i] = aggs[i]
+				}
+			}
+			e.lastAgg[i] = aggs[i]
+			st.UploadFloats += len(members) * e.dim
+			for _, k := range members {
+				st.UploadBytes += uploadBytes[k]
+			}
 		}
 	}
 	if e.obsOn {
@@ -441,6 +543,13 @@ func (e *Engine) RunRound() RoundStats {
 		}
 		e.om.aggDecodeBytes.Add(int64(st.UploadBytes))
 		e.om.oracleServer.Add(int64(oracleServerN))
+		if e.cfg.Async {
+			e.om.winFresh.Add(int64(st.FreshUploads))
+			e.om.winStale.Add(int64(st.StaleUploads))
+			e.om.winDropped.Add(int64(st.DroppedUploads))
+			e.om.spillDepth.Set(int64(st.SpillDepth))
+			e.om.spillBytes.Set(int64(st.SpillBytes))
+		}
 		var filterEvals int64
 		for _, n := range oracleFilterN {
 			filterEvals += int64(n)
@@ -467,6 +576,13 @@ func (e *Engine) RunRound() RoundStats {
 			"download_bytes": float64(st.DownloadBytes),
 			"evaluated":      evaluated,
 		}
+		if e.cfg.Async {
+			fields["fresh_uploads"] = float64(st.FreshUploads)
+			fields["stale_uploads"] = float64(st.StaleUploads)
+			fields["dropped_uploads"] = float64(st.DroppedUploads)
+			fields["spill_depth"] = float64(st.SpillDepth)
+			fields["spill_bytes"] = float64(st.SpillBytes)
+		}
 		if st.Evaluated {
 			fields["test_loss"] = st.TestLoss
 			fields["test_acc"] = st.TestAcc
@@ -486,8 +602,119 @@ func (e *Engine) RunRound() RoundStats {
 		}
 		e.cfg.Logger.Info("fedms round", attrs...)
 	}
-	e.round++
+	e.sc.Advance()
 	return st
+}
+
+// asyncArrival is one upload admitted to the current async round.
+type asyncArrival struct {
+	client, origin, stale int
+	weight                float64
+	view                  compress.Payload
+}
+
+// asyncArrivals assembles each server's admitted member set for round
+// t: spill records whose virtual arrival lands in this window join as
+// stale entries (down-weighted by sched.Weight), and this round's
+// sends split three ways on the seeded virtual clock — on-time ones
+// join fresh, late-but-admissible ones spill toward their arrival
+// round, and sends past the staleness bound are dropped. Entries sort
+// by (client, origin) so membership order — and therefore every
+// aggregate bit — is independent of spill traversal order.
+func (e *Engine) asyncArrivals(t int, assign [][]int, views []compress.Payload, uploads [][]float64, st *RoundStats) [][]asyncArrival {
+	arrivals := make([][]asyncArrival, e.cfg.Servers)
+	// Drain the spill: pop exactly Len() records so not-yet-due ones
+	// cycle to the back once, preserving FIFO across rounds.
+	for n := e.spill.Len(); n > 0; n-- {
+		rec, ok, err := e.spill.Pop()
+		if err != nil {
+			panic(fmt.Sprintf("core: spill pop: %v", err))
+		}
+		if !ok {
+			break
+		}
+		if rec.Due > t {
+			if err := e.spill.Add(rec); err != nil {
+				panic(fmt.Sprintf("core: spill requeue: %v", err))
+			}
+			continue
+		}
+		d := e.sc.Decide(rec.Origin)
+		if d.Outcome != sched.AcceptStale {
+			// A due record is stale by construction; anything else means
+			// the bound moved (it cannot under a fixed config) — drop.
+			st.DroppedUploads++
+			continue
+		}
+		v, err := compress.ParsePayload(compress.Encoding(rec.Enc), rec.Data)
+		if err != nil {
+			panic(fmt.Sprintf("core: spill payload: %v", err))
+		}
+		arrivals[rec.Server] = append(arrivals[rec.Server], asyncArrival{
+			client: rec.Client, origin: rec.Origin, stale: d.Staleness, weight: d.Weight, view: v,
+		})
+		st.StaleUploads++
+		if e.om != nil {
+			e.om.staleHist.Observe(float64(d.Staleness))
+		}
+	}
+	// This round's sends, routed by their virtual arrival round.
+	for i, members := range assign {
+		for _, k := range members {
+			delay := sched.ArrivalDelay(e.cfg.Seed, t, k, e.cfg.Window, sched.DefaultLatencyScale)
+			if delay == 0 {
+				arrivals[i] = append(arrivals[i], asyncArrival{client: k, origin: t, weight: 1, view: views[k]})
+				st.FreshUploads++
+				if e.om != nil {
+					e.om.staleHist.Observe(0)
+				}
+				continue
+			}
+			if d := sched.DecideAt(sched.Async, t+delay, t, e.cfg.Staleness); d.Outcome != sched.AcceptStale {
+				st.DroppedUploads++
+				continue
+			}
+			rec := spill.Record{Client: k, Server: i, Origin: t, Due: t + delay}
+			if e.codecs != nil {
+				rec.Enc, rec.Data = byte(e.encs[k]), e.encBufs[k]
+			} else {
+				rec.Enc, rec.Data = byte(compress.EncDense), denseWire(uploads[k])
+			}
+			if err := e.spill.Add(rec); err != nil {
+				panic(fmt.Sprintf("core: spill add: %v", err))
+			}
+		}
+	}
+	for i := range arrivals {
+		a := arrivals[i]
+		sort.Slice(a, func(x, y int) bool {
+			if a[x].client != a[y].client {
+				return a[x].client < a[y].client
+			}
+			return a[x].origin < a[y].origin
+		})
+	}
+	return arrivals
+}
+
+// denseWire serializes a dense model to the codec wire format
+// (little-endian float64s), so a spilled dense upload round-trips
+// bit-exactly through compress.ParsePayload(EncDense, ·).
+func denseWire(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// Close releases the async spill buffer's disk segment; a no-op in
+// sync mode. The engine must not run further rounds afterwards.
+func (e *Engine) Close() error {
+	if e.spill != nil {
+		return e.spill.Close()
+	}
+	return nil
 }
 
 // activeClients returns the sorted ids of clients participating in
@@ -721,7 +948,7 @@ func (e *Engine) MeanClientParams() []float64 {
 // rounds, so a returned prefix is always a consistent training state.
 func (e *Engine) RunContext(ctx context.Context) ([]RoundStats, error) {
 	stats := make([]RoundStats, 0, e.cfg.Rounds)
-	for t := e.round; t < e.cfg.Rounds; t++ {
+	for !e.sc.Done() {
 		select {
 		case <-ctx.Done():
 			return stats, ctx.Err()

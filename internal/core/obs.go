@@ -27,10 +27,20 @@ type engineMetrics struct {
 	// every eval is observable.
 	oracleServer *obs.Counter
 	oracleFilter *obs.Counter
-	train        *obs.Histogram
-	upload       *obs.Histogram
-	filter       *obs.Histogram
-	eval         *obs.Histogram
+	// Async lifecycle collectors: per-admitted-upload staleness (in
+	// rounds), window-close counters split by admission outcome, and
+	// the deferred-upload spill buffer's depth and byte footprint.
+	// Untouched in sync mode.
+	staleHist  *obs.Histogram
+	winFresh   *obs.Counter
+	winStale   *obs.Counter
+	winDropped *obs.Counter
+	spillDepth *obs.Gauge
+	spillBytes *obs.Gauge
+	train      *obs.Histogram
+	upload     *obs.Histogram
+	filter     *obs.Histogram
+	eval       *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry, rule string) *engineMetrics {
@@ -49,6 +59,12 @@ func newEngineMetrics(reg *obs.Registry, rule string) *engineMetrics {
 		shardPeakBytes: reg.Gauge("fedms_engine_shard_peak_bytes"),
 		oracleServer:   reg.Counter(`fedms_engine_oracle_evals_total{site="server"}`),
 		oracleFilter:   reg.Counter(`fedms_engine_oracle_evals_total{site="filter"}`),
+		staleHist:      reg.Histogram("fedms_engine_upload_staleness_rounds", []float64{0, 1, 2, 3, 5, 8, 13}),
+		winFresh:       reg.Counter(`fedms_engine_window_uploads_total{result="fresh"}`),
+		winStale:       reg.Counter(`fedms_engine_window_uploads_total{result="stale"}`),
+		winDropped:     reg.Counter(`fedms_engine_window_uploads_total{result="dropped"}`),
+		spillDepth:     reg.Gauge("fedms_engine_spill_depth"),
+		spillBytes:     reg.Gauge("fedms_engine_spill_bytes"),
 		train:          h("train"),
 		upload:         h("upload"),
 		filter:         h("filter"),

@@ -40,7 +40,7 @@ func LoadLearner(path string, l Learner) (*checkpoint.State, error) {
 // "trained global model" artifact of a finished run.
 func (e *Engine) SaveConsensus(path string, meta map[string]string) error {
 	st := &checkpoint.State{
-		Round:  e.round,
+		Round:  e.sc.Round(),
 		Seed:   e.cfg.Seed,
 		Meta:   meta,
 		Params: e.MeanClientParams(),

@@ -154,6 +154,174 @@ func FullAssignment(clients, servers int) [][]int {
 	return out
 }
 
+// computeOf reads the per-client local compute time from an optional
+// schedule (nil means instantaneous training, the classic RoundTime
+// assumption).
+func computeOf(compute []time.Duration, k int) time.Duration {
+	if k < len(compute) {
+		return compute[k]
+	}
+	return 0
+}
+
+// RoundTimeWithCompute is RoundTime with a per-client local compute
+// schedule in front of the upload phase: client k starts transferring
+// only after compute[k] of training, so one slow trainer stretches the
+// synchronous barrier by its full compute time.
+func (t *Topology) RoundTimeWithCompute(assignment [][]int, modelBytes int, compute []time.Duration) time.Duration {
+	var upload time.Duration
+	for k, servers := range assignment {
+		clientTime := computeOf(compute, k)
+		for _, s := range servers {
+			clientTime += t.links[k][s].TransferTime(modelBytes)
+		}
+		if clientTime > upload {
+			upload = clientTime
+		}
+	}
+	var download time.Duration
+	for k := 0; k < t.Clients; k++ {
+		for s := 0; s < t.Servers; s++ {
+			if d := t.links[k][s].TransferTime(modelBytes); d > download {
+				download = d
+			}
+		}
+	}
+	return upload + download
+}
+
+// AsyncStats tallies the admission outcome of one windowed round.
+type AsyncStats struct {
+	// Fresh counts uploads that land inside the window; Late counts
+	// uploads still in flight when it closes (they arrive stale in a
+	// later round, or not at all past the staleness bound).
+	Fresh, Late int
+}
+
+// AsyncRoundTime computes the makespan of one windowed async round:
+// the upload phase ends at the window deadline no matter how slow the
+// slowest client is — uploads still in flight are tallied Late rather
+// than waited for — and the dissemination fan-out is unchanged. This
+// is the analytic counterpart of the distributed PS's window barrier:
+// round time is bounded by window + dissemination, not by the
+// straggler.
+func (t *Topology) AsyncRoundTime(assignment [][]int, modelBytes int, window time.Duration, compute []time.Duration) (time.Duration, AsyncStats) {
+	if window <= 0 {
+		panic("netsim: non-positive window")
+	}
+	var st AsyncStats
+	var upload time.Duration
+	for k, servers := range assignment {
+		clientTime := computeOf(compute, k)
+		for _, s := range servers {
+			clientTime += t.links[k][s].TransferTime(modelBytes)
+			if clientTime <= window {
+				st.Fresh++
+			} else {
+				st.Late++
+			}
+		}
+		if clientTime > upload {
+			upload = clientTime
+		}
+	}
+	if upload > window {
+		upload = window
+	}
+	var download time.Duration
+	for k := 0; k < t.Clients; k++ {
+		for s := 0; s < t.Servers; s++ {
+			if d := t.links[k][s].TransferTime(modelBytes); d > download {
+				download = d
+			}
+		}
+	}
+	return upload + download, st
+}
+
+// AsyncRoundTimeWithFaults replays AsyncRoundTime under the same fault
+// schedule contract as RoundTimeWithFaults. Fault events stretch each
+// upload's link occupancy exactly as in the sync replay, but the
+// window still caps the phase: a fault can turn a fresh upload late,
+// never extend the round. Lost uploads are tallied both in the fault
+// stats and as Late (the window closes over their absence; the
+// receiver never blocks on a timeout).
+func (t *Topology) AsyncRoundTimeWithFaults(assignment [][]int, modelBytes int, window time.Duration, compute []time.Duration, fi *transport.FaultInjector, timeout time.Duration) (time.Duration, AsyncStats, FaultStats) {
+	if window <= 0 {
+		panic("netsim: non-positive window")
+	}
+	var ast AsyncStats
+	var fst FaultStats
+	var upload time.Duration
+	for k, servers := range assignment {
+		clientTime := computeOf(compute, k)
+		for _, s := range servers {
+			fst.Uploads++
+			ev := fi.Link(fmt.Sprintf("c%d->ps%d", k, s)).Next(modelBytes)
+			base := t.links[k][s].TransferTime(modelBytes)
+			arrived := true
+			switch ev.Kind {
+			case transport.FaultDrop, transport.FaultPartition, transport.FaultTruncate:
+				fst.Lost++
+				clientTime += base
+				arrived = false
+			case transport.FaultCorrupt:
+				fst.Corrupted++
+				clientTime += base
+				arrived = false
+			case transport.FaultDuplicate:
+				fst.Duplicated++
+				clientTime += 2 * base
+			case transport.FaultDelay:
+				fst.ExtraDelay += ev.Delay
+				clientTime += base + ev.Delay
+			default:
+				clientTime += base
+			}
+			if arrived && clientTime <= window {
+				ast.Fresh++
+			} else {
+				ast.Late++
+			}
+		}
+		if clientTime > upload {
+			upload = clientTime
+		}
+	}
+	if upload > window {
+		upload = window
+	}
+	var download time.Duration
+	for s := 0; s < t.Servers; s++ {
+		for k := 0; k < t.Clients; k++ {
+			fst.Downloads++
+			ev := fi.Link(fmt.Sprintf("ps%d->c%d", s, k)).Next(modelBytes)
+			base := t.links[k][s].TransferTime(modelBytes)
+			var d time.Duration
+			switch ev.Kind {
+			case transport.FaultDrop, transport.FaultPartition, transport.FaultTruncate:
+				fst.Lost++
+				d = timeout
+			case transport.FaultCorrupt:
+				fst.Corrupted++
+				d = base
+			case transport.FaultDuplicate:
+				fst.Duplicated++
+				d = 2 * base
+			case transport.FaultDelay:
+				fst.ExtraDelay += ev.Delay
+				d = base + ev.Delay
+			default:
+				d = base
+			}
+			if d > download {
+				download = d
+			}
+		}
+	}
+	return upload + download, ast, fst
+}
+
 // FaultStats tallies the fault events of one simulated round.
 type FaultStats struct {
 	// Uploads and Downloads count the messages attempted per phase.

@@ -185,3 +185,97 @@ func TestRoundTimeWithFaultsMatchesWireSchedule(t *testing.T) {
 		}
 	}
 }
+
+// stragglerCompute gives every client instantaneous training except
+// the last, which takes `slow` before its upload starts.
+func stragglerCompute(clients int, slow time.Duration) []time.Duration {
+	compute := make([]time.Duration, clients)
+	compute[clients-1] = slow
+	return compute
+}
+
+// TestAsyncRoundTimeBoundedByWindow is the analytic straggler
+// acceptance criterion: one client computing for 30s stretches the
+// synchronous barrier past 30s, while the windowed round closes at
+// window + dissemination and tallies the straggler's upload late.
+func TestAsyncRoundTimeBoundedByWindow(t *testing.T) {
+	top := testTopology(t)
+	const modelBytes = 1 << 18
+	const window = 2 * time.Second
+	assign := FullAssignment(10, 4)
+	compute := stragglerCompute(10, 30*time.Second)
+
+	syncRT := top.RoundTimeWithCompute(assign, modelBytes, compute)
+	if syncRT < 30*time.Second {
+		t.Fatalf("sync round %v not stretched by the straggler", syncRT)
+	}
+	asyncRT, st := top.AsyncRoundTime(assign, modelBytes, window, compute)
+	var maxDown time.Duration
+	for k := 0; k < top.Clients; k++ {
+		for s := 0; s < top.Servers; s++ {
+			if d := top.Link(k, s).TransferTime(modelBytes); d > maxDown {
+				maxDown = d
+			}
+		}
+	}
+	if asyncRT != window+maxDown {
+		t.Fatalf("async round %v, want window %v + dissemination %v", asyncRT, window, maxDown)
+	}
+	if st.Late < top.Servers {
+		t.Fatalf("straggler's %d uploads not tallied late: %+v", top.Servers, st)
+	}
+	if st.Fresh+st.Late != 10*4 {
+		t.Fatalf("admission tally %+v does not cover the assignment", st)
+	}
+}
+
+// TestAsyncRoundTimeWideWindowMatchesSync: a window past the slowest
+// client collapses the async makespan to the synchronous one with
+// nothing late.
+func TestAsyncRoundTimeWideWindowMatchesSync(t *testing.T) {
+	top := testTopology(t)
+	const modelBytes = 1 << 18
+	assign := SparseAssignment(10, 4, 0, func(round, client, servers int) int {
+		return core.SparseUploadChoice(1, round, client, servers)
+	})
+	syncRT := top.RoundTimeWithCompute(assign, modelBytes, nil)
+	if syncRT != top.RoundTime(assign, modelBytes) {
+		t.Fatal("nil compute schedule must not change RoundTime")
+	}
+	asyncRT, st := top.AsyncRoundTime(assign, modelBytes, time.Hour, nil)
+	if asyncRT != syncRT {
+		t.Fatalf("wide-window async %v != sync %v", asyncRT, syncRT)
+	}
+	if st.Late != 0 || st.Fresh != 10 {
+		t.Fatalf("wide window left uploads late: %+v", st)
+	}
+}
+
+// TestAsyncRoundTimeWithFaultsBounded: the fault replay stays
+// deterministic and the window still caps the upload phase — faults
+// can only turn uploads late, never stretch the round past
+// window + the faulted dissemination fan-out.
+func TestAsyncRoundTimeWithFaultsBounded(t *testing.T) {
+	top := testTopology(t)
+	const modelBytes = 1 << 18
+	const window = time.Second
+	const timeout = 3 * time.Second
+	assign := FullAssignment(10, 4)
+	compute := stragglerCompute(10, 20*time.Second)
+	fc := transport.FaultConfig{Seed: 11, Drop: 0.2, Delay: 0.3, MaxDelay: 50 * time.Millisecond}
+
+	rt1, ast1, fst1 := top.AsyncRoundTimeWithFaults(assign, modelBytes, window, compute, transport.NewFaultInjector(fc), timeout)
+	rt2, ast2, fst2 := top.AsyncRoundTimeWithFaults(assign, modelBytes, window, compute, transport.NewFaultInjector(fc), timeout)
+	if rt1 != rt2 || ast1 != ast2 || !reflect.DeepEqual(fst1, fst2) {
+		t.Fatal("same fault seed must reproduce the async round")
+	}
+	if rt1 > window+timeout {
+		t.Fatalf("faulted async round %v exceeds window %v + timeout %v", rt1, window, timeout)
+	}
+	if ast1.Late < top.Servers {
+		t.Fatalf("straggler uploads not tallied late under faults: %+v", ast1)
+	}
+	if fst1.Lost == 0 || fst1.ExtraDelay == 0 {
+		t.Fatalf("fault schedule drew no events: %+v", fst1)
+	}
+}

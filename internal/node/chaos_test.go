@@ -43,6 +43,19 @@ type chaosOpts struct {
 	upCodec   compress.Spec
 	downCodec compress.Spec
 
+	// async switches the scenario to the windowed lifecycle; window,
+	// staleness and latencyScale mirror the node configs (zero picks the
+	// node defaults). spillDir/spillMem shape the PS spill tier, and
+	// checkpoint maps a PS id to its checkpoint path. serverRule must be
+	// weighted (nil Mean is) when async is set.
+	async        bool
+	window       time.Duration
+	staleness    int
+	latencyScale time.Duration
+	spillDir     string
+	spillMem     int
+	checkpoint   map[int]string
+
 	psTimeout     time.Duration
 	clientTimeout time.Duration
 	onRound       func(client, round int, received map[int][]float64, filtered []float64)
@@ -94,6 +107,12 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 			Faults:          pfi,
 			CrashAfterRound: o.crashAfter[i],
 			DownlinkCodec:   dc,
+			Async:           o.async,
+			Window:          o.window,
+			Staleness:       o.staleness,
+			SpillDir:        o.spillDir,
+			SpillMem:        o.spillMem,
+			CheckpointPath:  o.checkpoint[i],
 			Logger:          o.logger,
 			Obs:             o.reg,
 			TraceSink:       o.traceSink,
@@ -152,6 +171,10 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 				OnRound:               hook,
 				Codec:                 uc,
 				AcceptEncodedDownlink: !o.downCodec.IsDense(),
+				Async:                 o.async,
+				Window:                o.window,
+				Staleness:             o.staleness,
+				LatencyScale:          o.latencyScale,
 				Logger:                o.logger,
 				Obs:                   o.reg,
 				TraceSink:             o.traceSink,

@@ -13,6 +13,7 @@ import (
 	"fedms/internal/core"
 	"fedms/internal/nn"
 	"fedms/internal/obs"
+	"fedms/internal/sched"
 	"fedms/internal/transport"
 )
 
@@ -109,6 +110,26 @@ type ClientConfig struct {
 	// stays dense and the trimmed-mean filter sees exact aggregates.
 	AcceptEncodedDownlink bool
 
+	// Async switches the client to the windowed lifecycle: each round's
+	// model draws a deterministic virtual arrival delay (see
+	// sched.ArrivalDelay); a delayed model is parked in a local backlog
+	// and sent later as a stale-tagged frame while the round's marker to
+	// its PS degrades to a skip. Window and Staleness must match the
+	// servers' PSConfig.
+	Async bool
+	// Window is the servers' aggregation window (defaults like
+	// PSConfig.Window); it sets the virtual-delay quantum.
+	Window time.Duration
+	// Staleness is the servers' admission bound S, for observability
+	// only — the client sends every due backlog entry and lets the PS
+	// rule on admission, exactly as the engine accounts drops.
+	Staleness int
+	// LatencyScale overrides the virtual upload-latency scale (0 means
+	// sched.DefaultLatencyScale). Tests use a scale much larger than
+	// the window to provoke stale traffic without shrinking the real
+	// deadline the federation runs under.
+	LatencyScale time.Duration
+
 	// Logger, when non-nil, records one structured line per round (the
 	// engine's slog pattern adopted by the distributed runtime).
 	Logger *slog.Logger
@@ -148,6 +169,23 @@ type ClientRoundStats struct {
 	UploadBytes int
 	// DownloadBytes counts the model payload bytes received this round.
 	DownloadBytes int
+	// StaleUploads counts backlog models delivered stale-tagged this
+	// round; DroppedUploads counts due backlog models abandoned because
+	// every target server was dead; BacklogDepth is the backlog size
+	// after this round's sends. All zero in sync mode.
+	StaleUploads   int
+	DroppedUploads int
+	BacklogDepth   int
+}
+
+// backlogged is one virtually delayed upload waiting in the client's
+// async backlog: the payload bytes frozen at its origin round, the
+// round it comes due, and its target PS (-1 broadcasts to all, the
+// full-upload mode).
+type backlogged struct {
+	origin, due, to int
+	enc             compress.Encoding
+	data            []byte
 }
 
 // dialPS connects to server i with capped exponential backoff, performs
@@ -323,6 +361,25 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	if cfg.DialBackoff <= 0 {
 		cfg.DialBackoff = 50 * time.Millisecond
 	}
+	if cfg.Async {
+		if cfg.Window < 0 {
+			return nil, fmt.Errorf("node: client %d Window must be positive, got %v", cfg.ID, cfg.Window)
+		}
+		if cfg.Window == 0 {
+			cfg.Window = sched.DefaultLatencyScale / 4
+		}
+		if cfg.Staleness < 0 {
+			return nil, fmt.Errorf("node: client %d Staleness must be non-negative, got %d", cfg.ID, cfg.Staleness)
+		}
+		if cfg.LatencyScale < 0 {
+			return nil, fmt.Errorf("node: client %d LatencyScale must be non-negative, got %v", cfg.ID, cfg.LatencyScale)
+		}
+		if cfg.LatencyScale == 0 {
+			cfg.LatencyScale = sched.DefaultLatencyScale
+		}
+	} else if cfg.Window != 0 || cfg.Staleness != 0 || cfg.LatencyScale != 0 {
+		return nil, fmt.Errorf("node: client %d Window/Staleness/LatencyScale require Async mode", cfg.ID)
+	}
 	tolerant := cfg.MinModels > 0
 	if cfg.Codec != nil && cfg.Codec.Name() == "dense" {
 		// The identity codec is the nil fast path: uploads stay v1 dense
@@ -378,6 +435,9 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 	}
 
 	stats := make([]ClientRoundStats, 0, cfg.Rounds)
+	// backlog holds this client's virtually delayed uploads, in origin
+	// order (async mode only; see ClientConfig.Async).
+	var backlog []backlogged
 	for round := 0; round < cfg.Rounds; round++ {
 		st := ClientRoundStats{Round: round, UploadedTo: -1}
 
@@ -452,6 +512,76 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			}
 		}
 
+		// Async virtual straggling: a model whose seeded arrival delay is
+		// positive misses its own round's window. It is frozen into the
+		// backlog (payload-encoded, so the staleness tag can ride a v2
+		// frame later) and the round's marker degrades to a skip; the
+		// codec's error-feedback state has already advanced, exactly as
+		// in a timely round.
+		modelNow := true
+		if cfg.Async && st.Active {
+			if delay := sched.ArrivalDelay(cfg.Seed, round, cfg.ID, cfg.Window, cfg.LatencyScale); delay > 0 {
+				modelNow = false
+				b := backlogged{origin: round, due: round + delay, to: choice}
+				if cfg.Codec != nil {
+					b.enc, b.data = uploadEnc, append([]byte(nil), encBuf...)
+				} else {
+					b.enc, b.data = compress.EncDense, denseWire(params)
+				}
+				backlog = append(backlog, b)
+			}
+		}
+
+		// Deliver backlog entries that have come due, before this round's
+		// markers so each PS reads stale frames first and the marker still
+		// closes its connection's round. The PS rules on admission (the
+		// staleness bound lives there); a due entry whose every target
+		// died is abandoned.
+		if cfg.Async && len(backlog) > 0 {
+			kept := backlog[:0]
+			for _, b := range backlog {
+				if b.due > round {
+					kept = append(kept, b)
+					continue
+				}
+				stale := round - b.origin
+				if stale > 255 {
+					stale = 255
+				}
+				sent := false
+				for i, conn := range conns {
+					if conn == nil || (b.to >= 0 && i != b.to) {
+						continue
+					}
+					msg := &transport.Message{
+						Type:    transport.TypeUpload,
+						Round:   uint32(b.origin),
+						Sender:  uint32(cfg.ID),
+						Flag:    1,
+						Stale:   uint8(stale),
+						Enc:     b.enc,
+						Payload: b.data,
+					}
+					if err := conn.Send(msg); err != nil {
+						if !tolerant {
+							return stats, fmt.Errorf("node: client %d round %d stale upload to PS %d: %w", cfg.ID, round, i, err)
+						}
+						markDead(i)
+						continue
+					}
+					sent = true
+					st.UploadBytes += msg.ModelWireBytes()
+					st.StaleUploads++
+					cm.staleSent.Inc()
+				}
+				if !sent {
+					st.DroppedUploads++
+					cm.uploadsDropped.Inc()
+				}
+			}
+			backlog = kept
+		}
+
 		// Model aggregation stage: one real upload (sparse) or P (full);
 		// empty skip frames complete the PS-side barrier.
 		for i, conn := range conns {
@@ -463,7 +593,7 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 				Round:  uint32(round),
 				Sender: uint32(cfg.ID),
 			}
-			if st.Active && (cfg.FullUpload || i == choice) {
+			if st.Active && modelNow && (cfg.FullUpload || i == choice) {
 				msg.Flag = 1
 				if cfg.Codec != nil {
 					msg.Enc, msg.Payload = uploadEnc, encBuf
@@ -576,6 +706,10 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			st.TestLoss, st.TestAcc = cfg.Learner.Evaluate()
 			st.Evaluated = true
 		}
+		if cfg.Async {
+			st.BacklogDepth = len(backlog)
+			cm.backlogDepth.Set(int64(len(backlog)))
+		}
 		stats = append(stats, st)
 
 		cm.rounds.Inc()
@@ -599,28 +733,42 @@ func RunClient(cfg ClientConfig) ([]ClientRoundStats, error) {
 			if st.Degraded {
 				degraded = 1
 			}
+			fields := map[string]float64{
+				"models_received": float64(got),
+				"degraded":        degraded,
+				"uploaded_to":     float64(st.UploadedTo),
+				"train_loss":      st.TrainLoss,
+				"upload_bytes":    float64(st.UploadBytes),
+				"download_bytes":  float64(st.DownloadBytes),
+				"recv_wait_ms":    recvWait.Seconds() * 1e3,
+			}
+			if cfg.Async {
+				fields["stale_uploads"] = float64(st.StaleUploads)
+				fields["dropped_uploads"] = float64(st.DroppedUploads)
+				fields["backlog_depth"] = float64(st.BacklogDepth)
+			}
 			cfg.TraceSink.Emit(obs.Event{
-				Round: round,
-				Node:  nodeName,
-				Name:  "client_round",
-				Fields: map[string]float64{
-					"models_received": float64(got),
-					"degraded":        degraded,
-					"uploaded_to":     float64(st.UploadedTo),
-					"train_loss":      st.TrainLoss,
-					"upload_bytes":    float64(st.UploadBytes),
-					"download_bytes":  float64(st.DownloadBytes),
-					"recv_wait_ms":    recvWait.Seconds() * 1e3,
-				},
+				Round:  round,
+				Node:   nodeName,
+				Name:   "client_round",
+				Fields: fields,
 			})
 		}
 		if cfg.Logger != nil {
-			cfg.Logger.Info("client round",
+			attrs := []any{
 				"client", cfg.ID, "round", round,
 				"models", got, "degraded", st.Degraded, "uploaded_to", st.UploadedTo,
 				"train_loss", st.TrainLoss,
 				"upload_bytes", st.UploadBytes, "download_bytes", st.DownloadBytes,
-				"recv_wait_ms", recvWait.Seconds()*1e3)
+				"recv_wait_ms", recvWait.Seconds() * 1e3,
+			}
+			if cfg.Async {
+				attrs = append(attrs,
+					"stale_uploads", st.StaleUploads,
+					"dropped_uploads", st.DroppedUploads,
+					"backlog_depth", st.BacklogDepth)
+			}
+			cfg.Logger.Info("client round", attrs...)
 		}
 	}
 	return stats, nil

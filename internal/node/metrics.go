@@ -30,6 +30,18 @@ type psMetrics struct {
 	oracleEvals    *obs.Counter
 	shardPeakBytes *obs.Gauge
 	barrierWait    *obs.Histogram
+	// Async lifecycle collectors (untouched in sync mode): window-close
+	// counters split by admission outcome, the window-expiry count, the
+	// per-admitted-upload staleness distribution, and the deferred-
+	// upload spill buffer's depth and byte footprint.
+	winFresh      *obs.Counter
+	winStale      *obs.Counter
+	winDropped    *obs.Counter
+	winDeferred   *obs.Counter
+	windowExpired *obs.Counter
+	staleHist     *obs.Histogram
+	spillDepth    *obs.Gauge
+	spillBytes    *obs.Gauge
 }
 
 // newPSMetrics takes the aggregation rule's name so the decode-bytes
@@ -60,6 +72,18 @@ func newPSMetrics(reg *obs.Registry, id int, rule string) *psMetrics {
 			`fedms_ps_oracle_evals_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		shardPeakBytes: reg.Gauge("fedms_ps_shard_peak_bytes" + l),
 		barrierWait:    reg.Histogram("fedms_ps_barrier_wait_seconds"+l, nil),
+		winFresh: reg.Counter(
+			`fedms_ps_window_uploads_total{ps="` + strconv.Itoa(id) + `",result="fresh"}`),
+		winStale: reg.Counter(
+			`fedms_ps_window_uploads_total{ps="` + strconv.Itoa(id) + `",result="stale"}`),
+		winDropped: reg.Counter(
+			`fedms_ps_window_uploads_total{ps="` + strconv.Itoa(id) + `",result="dropped"}`),
+		winDeferred: reg.Counter(
+			`fedms_ps_window_uploads_total{ps="` + strconv.Itoa(id) + `",result="deferred"}`),
+		windowExpired: c("window_expired"),
+		staleHist:     reg.Histogram("fedms_ps_upload_staleness_rounds"+l, []float64{0, 1, 2, 3, 5, 8, 13}),
+		spillDepth:    reg.Gauge("fedms_ps_spill_depth" + l),
+		spillBytes:    reg.Gauge("fedms_ps_spill_bytes" + l),
 	}
 }
 
@@ -79,6 +103,12 @@ type clientMetrics struct {
 	filterDecodeBytes *obs.Counter
 	oracleEvals       *obs.Counter
 	recvWait          *obs.Histogram
+	// Async lifecycle collectors (untouched in sync mode): stale-tagged
+	// backlog sends, due backlog models abandoned because every target
+	// server died, and the local backlog depth after each round's sends.
+	staleSent      *obs.Counter
+	uploadsDropped *obs.Counter
+	backlogDepth   *obs.Gauge
 }
 
 // newClientMetrics takes the client filter rule's name for the same
@@ -103,6 +133,9 @@ func newClientMetrics(reg *obs.Registry, id int, rule string) *clientMetrics {
 			`fedms_client_filter_decode_bytes_total{client="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		oracleEvals: reg.Counter(
 			`fedms_client_oracle_evals_total{client="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
-		recvWait: reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
+		recvWait:       reg.Histogram("fedms_client_recv_wait_seconds"+l, nil),
+		staleSent:      c("stale_uploads"),
+		uploadsDropped: c("uploads_dropped"),
+		backlogDepth:   reg.Gauge("fedms_client_backlog_depth" + l),
 	}
 }

@@ -25,10 +25,13 @@
 package node
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -36,9 +39,12 @@ import (
 
 	"fedms/internal/aggregate"
 	"fedms/internal/attack"
+	"fedms/internal/checkpoint"
 	"fedms/internal/compress"
 	"fedms/internal/core"
 	"fedms/internal/obs"
+	"fedms/internal/sched"
+	"fedms/internal/spill"
 	"fedms/internal/transport"
 )
 
@@ -129,6 +135,34 @@ type PSConfig struct {
 	// — a broadcast shares one codec across clients, so a per-stream
 	// residual would be wrong for all of them.
 	DownlinkCodec compress.Codec
+	// Async switches this server from the K-frame barrier to the
+	// windowed round lifecycle (DESIGN.md §7): each round closes when
+	// every connection has delivered its round marker or the Window
+	// expires, whichever is first; uploads up to Staleness rounds old
+	// are admitted with the deterministic down-weight sched.Weight
+	// applied before ServerRule (which must have a weighted kernel —
+	// see aggregate.IsWeighted); future-round frames spill to a
+	// disk-backed buffer and replay when their round opens.
+	Async bool
+	// Window is the async per-round aggregation window. Defaults to
+	// sched.DefaultLatencyScale/4 when Async is set and Window is zero;
+	// rejected outside async mode.
+	Window time.Duration
+	// Staleness is the async admission bound S (0 = fresh only).
+	Staleness int
+	// SpillDir places the deferred-upload spill segment (async only;
+	// empty means the OS temp dir). SpillMem bounds the spill buffer's
+	// in-memory payload bytes before records overflow to disk (0 =
+	// spill.DefaultMemLimit, negative = straight to disk).
+	SpillDir string
+	SpillMem int
+	// CheckpointPath, when set (async only), persists the scheduler
+	// state after every window close — round horizon, aggregate, and
+	// the flushed spill manifest — and restores it in NewPS when the
+	// file exists, so a tolerant-PS restart resumes mid-window instead
+	// of dropping the late uploads. The spill segment is pinned to
+	// CheckpointPath + ".spill".
+	CheckpointPath string
 
 	// Logger, when non-nil, records one structured line per round (the
 	// engine's slog pattern adopted by the distributed runtime).
@@ -148,6 +182,11 @@ type PSConfig struct {
 type PS struct {
 	cfg PSConfig
 	ln  net.Listener
+	// sc is the shared round-lifecycle state machine (the same cursor
+	// the in-process engine drives); spill is the async deferred-upload
+	// buffer (nil in sync mode).
+	sc    *sched.Scheduler
+	spill *spill.Buffer
 
 	mu       sync.Mutex
 	crashed  bool
@@ -206,6 +245,19 @@ type PSStats struct {
 	// DownloadBytes sum.
 	BytesIn  int
 	BytesOut int
+	// Async lifecycle counters, all zero in sync mode. UploadsStale
+	// counts admitted down-weighted uploads (a subset of
+	// UploadsReceived); UploadsDropped counts models past the staleness
+	// bound; UploadsDeferred counts future-round models parked in the
+	// spill buffer for replay; WindowExpired counts connections whose
+	// round marker had not arrived when the window deadline fired.
+	UploadsStale    int
+	UploadsDropped  int
+	UploadsDeferred int
+	WindowExpired   int
+	// SpillPeakBytes is the high-water byte size of the spill buffer's
+	// disk segment.
+	SpillPeakBytes int64
 }
 
 // NewPS binds the listener and returns the node; call Serve to run the
@@ -213,9 +265,6 @@ type PSStats struct {
 func NewPS(cfg PSConfig) (*PS, error) {
 	if cfg.Clients <= 0 || cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("node: PS %d needs positive Clients and Rounds", cfg.ID)
-	}
-	if cfg.StartRound < 0 || cfg.StartRound >= cfg.Rounds {
-		return nil, fmt.Errorf("node: PS %d StartRound %d out of range [0,%d)", cfg.ID, cfg.StartRound, cfg.Rounds)
 	}
 	if cfg.CrashAfterRound < 0 {
 		return nil, fmt.Errorf("node: PS %d CrashAfterRound must be non-negative", cfg.ID)
@@ -236,11 +285,101 @@ func NewPS(cfg PSConfig) (*PS, error) {
 			return nil, fmt.Errorf("node: PS %d: error feedback is per-stream state and cannot be used on the broadcast downlink (codec %q)", cfg.ID, cfg.DownlinkCodec.Name())
 		}
 	}
+
+	// Async validation mirrors core.Config.Validate: the window knobs
+	// are rejected outside async mode, and the rule must carry a
+	// weighted kernel so staleness down-weights reach the aggregate.
+	if cfg.Async {
+		if cfg.Window == 0 {
+			cfg.Window = sched.DefaultLatencyScale / 4
+		}
+		if cfg.Window < 0 {
+			return nil, fmt.Errorf("node: PS %d Window must be positive, got %v", cfg.ID, cfg.Window)
+		}
+		if cfg.Staleness < 0 {
+			return nil, fmt.Errorf("node: PS %d Staleness must be non-negative, got %d", cfg.ID, cfg.Staleness)
+		}
+		if !aggregate.IsWeighted(cfg.ServerRule) {
+			return nil, fmt.Errorf("node: PS %d: rule %q has no weighted kernel; async staleness down-weighting requires one", cfg.ID, cfg.ServerRule.Name())
+		}
+	} else {
+		if cfg.Window != 0 || cfg.Staleness != 0 {
+			return nil, fmt.Errorf("node: PS %d: Window/Staleness require Async mode", cfg.ID)
+		}
+		if cfg.SpillDir != "" || cfg.SpillMem != 0 || cfg.CheckpointPath != "" {
+			return nil, fmt.Errorf("node: PS %d: spill/checkpoint knobs require Async mode", cfg.ID)
+		}
+	}
+
+	// Checkpoint restore: a restarted async server resumes at the
+	// persisted round horizon, re-seeds its aggregate from the saved
+	// params, and reopens the flushed spill segment so the uploads
+	// still in flight toward future rounds replay instead of dropping.
+	var restored *checkpoint.State
+	var spillBuf *spill.Buffer
+	if cfg.Async {
+		scfg := spill.Config{MemLimit: cfg.SpillMem, Dir: cfg.SpillDir}
+		if cfg.CheckpointPath != "" {
+			scfg.Path = cfg.CheckpointPath + ".spill"
+			st, err := checkpoint.LoadFile(cfg.CheckpointPath)
+			switch {
+			case err == nil:
+				a, ok, aerr := checkpoint.ReadAsyncMeta(st)
+				if aerr != nil {
+					return nil, fmt.Errorf("node: PS %d checkpoint: %w", cfg.ID, aerr)
+				}
+				if !ok {
+					return nil, fmt.Errorf("node: PS %d: %s is not an async checkpoint", cfg.ID, cfg.CheckpointPath)
+				}
+				if a.Window != cfg.Window || a.Staleness != cfg.Staleness {
+					return nil, fmt.Errorf("node: PS %d: checkpoint window/staleness %v/%d disagree with config %v/%d",
+						cfg.ID, a.Window, a.Staleness, cfg.Window, cfg.Staleness)
+				}
+				cfg.StartRound = st.Round
+				restored = st
+				if a.SpillPath != "" {
+					// A torn tail (crash mid-write) truncates away inside
+					// Open; recovering fewer records than the manifest
+					// promised is expected after such a crash.
+					b, _, oerr := spill.Open(a.SpillPath, scfg)
+					if oerr != nil {
+						return nil, fmt.Errorf("node: PS %d spill: %w", cfg.ID, oerr)
+					}
+					spillBuf = b
+				}
+			case os.IsNotExist(err):
+				// First boot: nothing to restore.
+			default:
+				return nil, fmt.Errorf("node: PS %d checkpoint: %w", cfg.ID, err)
+			}
+		}
+		if spillBuf == nil {
+			spillBuf = spill.New(scfg)
+		}
+	}
+	if cfg.StartRound < 0 || cfg.StartRound >= cfg.Rounds {
+		return nil, fmt.Errorf("node: PS %d StartRound %d out of range [0,%d)", cfg.ID, cfg.StartRound, cfg.Rounds)
+	}
+	mode := sched.Sync
+	if cfg.Async {
+		mode = sched.Async
+	}
+	sc, err := sched.New(sched.Config{
+		Mode: mode, Rounds: cfg.Rounds, StartRound: cfg.StartRound,
+		Window: cfg.Window, Staleness: cfg.Staleness,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: PS %d: %w", cfg.ID, err)
+	}
+
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("node: PS %d listen: %w", cfg.ID, err)
 	}
-	p := &PS{cfg: cfg, ln: ln}
+	p := &PS{cfg: cfg, ln: ln, sc: sc, spill: spillBuf}
+	if restored != nil && len(restored.Params) > 0 {
+		p.lastAgg = append([]float64(nil), restored.Params...)
+	}
 	p.om = newPSMetrics(cfg.Obs, cfg.ID, cfg.ServerRule.Name())
 	p.tm = transport.NewMetrics(cfg.Obs, fmt.Sprintf("ps%d", cfg.ID))
 	p.obsOn = cfg.Obs != nil || cfg.TraceSink != nil || cfg.Logger != nil
@@ -289,6 +428,14 @@ func (p *PS) Stats() PSStats {
 // server returns ErrCrashed.
 func (p *PS) Serve() error {
 	defer p.ln.Close()
+	// A crashed server keeps its spill segment on disk — that is the
+	// state a checkpoint restart replays; a cleanly finished one
+	// removes it.
+	defer func() {
+		if p.spill != nil && !p.isCrashed() {
+			_ = p.spill.Close()
+		}
+	}()
 
 	conns := make([]*transport.Conn, p.cfg.Clients)
 	// pending[id] parks a future-round upload read early from client id
@@ -363,7 +510,8 @@ func (p *PS) Serve() error {
 		}
 	}
 
-	for round := p.cfg.StartRound; round < p.cfg.Rounds; round++ {
+	for !p.sc.Done() {
+		round := p.sc.Round()
 		if err := p.serveRound(round, conns, pending); err != nil {
 			if p.isCrashed() {
 				return ErrCrashed
@@ -374,6 +522,7 @@ func (p *PS) Serve() error {
 			p.Crash()
 			return ErrCrashed
 		}
+		p.sc.Advance()
 	}
 	return nil
 }
@@ -448,12 +597,12 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 			return upload{client: id, dead: true, err: err}
 		}
 		if p.cfg.Tolerant && m.Type == transport.TypeUpload {
-			if int(m.Round) < round {
+			switch sched.DecideAt(sched.Sync, round, int(m.Round), 0).Outcome {
+			case sched.DropStale:
 				// A duplicated or delayed frame from an earlier round.
 				p.om.framesSkipped.Inc()
 				continue
-			}
-			if int(m.Round) > round {
+			case sched.Defer:
 				// This round's upload was dropped and the client moved
 				// on. The frame we hold is a later round's: keep it.
 				*pending = m
@@ -488,6 +637,9 @@ func (p *PS) recvUpload(id, round int, conn *transport.Conn, pending **transport
 
 // serveRound implements one aggregation + dissemination round.
 func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport.Message) error {
+	if p.cfg.Async {
+		return p.serveRoundAsync(round, conns)
+	}
 	live := 0
 	results := make(chan upload, len(conns))
 	var barrierStart time.Time
@@ -668,9 +820,35 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 	p.om.barrierWait.ObserveDuration(barrierWait)
 
-	// Dissemination, with Byzantine tampering where configured. The
-	// history records honest aggregates only (adaptive adversary
-	// knowledge), exactly as in the engine.
+	return p.disseminate(round, agg, conns, roundTally{
+		members: len(members), missed: missed, lost: lost,
+		bytesIn: bytesIn, barrierWait: barrierWait,
+	})
+}
+
+// roundTally carries the aggregation phase's outcome into disseminate,
+// which finishes the round's stats, trace and log line. The async
+// fields stay zero in sync mode.
+type roundTally struct {
+	members     int
+	missed      int
+	lost        int
+	bytesIn     int
+	barrierWait time.Duration
+	stale       int
+	dropped     int
+	deferred    int
+	expired     int
+}
+
+// disseminate broadcasts the round aggregate to every live client —
+// with Byzantine tampering where configured — then tallies the wire
+// totals from successful sends and emits the round's trace and log
+// line. The history records honest aggregates only (adaptive adversary
+// knowledge), exactly as in the engine. Shared verbatim by the sync
+// barrier and the async window (pure code motion from serveRound; the
+// sync trace stays bit-identical).
+func (p *PS) disseminate(round int, agg []float64, conns []*transport.Conn, t roundTally) error {
 	var consistentTampered []float64
 	if p.cfg.Attack != nil && !p.cfg.Attack.Equivocates() {
 		ctx := &attack.Context{
@@ -781,30 +959,467 @@ func (p *PS) serveRound(round int, conns []*transport.Conn, pending []*transport
 	}
 
 	if p.cfg.TraceSink != nil {
+		fields := map[string]float64{
+			"uploads":     float64(t.members),
+			"missed":      float64(t.missed),
+			"lost":        float64(t.lost + sendLost),
+			"sent":        float64(sent),
+			"send_failed": float64(len(sendErrs)),
+			"bytes_in":    float64(t.bytesIn),
+			"bytes_out":   float64(bytesOut),
+			"barrier_ms":  t.barrierWait.Seconds() * 1e3,
+		}
+		if p.cfg.Async {
+			fields["stale_uploads"] = float64(t.stale)
+			fields["dropped_uploads"] = float64(t.dropped)
+			fields["deferred_uploads"] = float64(t.deferred)
+			fields["window_expired"] = float64(t.expired)
+			fields["spill_depth"] = float64(p.spill.Len())
+			fields["spill_bytes"] = float64(p.spill.MemBytes() + p.spill.DiskBytes())
+		}
 		p.cfg.TraceSink.Emit(obs.Event{
-			Round: round,
-			Node:  fmt.Sprintf("ps%d", p.cfg.ID),
-			Name:  "ps_round",
-			Fields: map[string]float64{
-				"uploads":     float64(len(members)),
-				"missed":      float64(missed),
-				"lost":        float64(lost + sendLost),
-				"sent":        float64(sent),
-				"send_failed": float64(len(sendErrs)),
-				"bytes_in":    float64(bytesIn),
-				"bytes_out":   float64(bytesOut),
-				"barrier_ms":  barrierWait.Seconds() * 1e3,
-			},
+			Round:  round,
+			Node:   fmt.Sprintf("ps%d", p.cfg.ID),
+			Name:   "ps_round",
+			Fields: fields,
 		})
 	}
 	if p.cfg.Logger != nil {
-		p.cfg.Logger.Info("ps round",
+		attrs := []any{
 			"ps", p.cfg.ID, "round", round,
-			"uploads", len(members), "missed", missed, "lost", lost+sendLost,
-			"bytes_in", bytesIn, "bytes_out", bytesOut,
-			"barrier_ms", barrierWait.Seconds()*1e3)
+			"uploads", t.members, "missed", t.missed, "lost", t.lost + sendLost,
+			"bytes_in", t.bytesIn, "bytes_out", bytesOut,
+			"barrier_ms", t.barrierWait.Seconds() * 1e3,
+		}
+		if p.cfg.Async {
+			attrs = append(attrs, "stale", t.stale, "dropped", t.dropped,
+				"deferred", t.deferred, "window_expired", t.expired,
+				"spill_depth", p.spill.Len())
+		}
+		p.cfg.Logger.Info("ps round", attrs...)
 	}
 	return nil
+}
+
+// psArrival is one admitted upload of an async round: a payload view
+// plus its staleness down-weight. The member set sorts by (client,
+// origin) before aggregation so membership order — and therefore every
+// aggregate bit — is independent of arrival interleaving.
+type psArrival struct {
+	client, origin, stale int
+	weight                float64
+	view                  compress.Payload
+}
+
+// asyncRecv is one connection's contribution to an async round: the
+// frames admitted up to (and including) the round marker, plus the
+// spill records of any future-round models that prove the marker lost.
+type asyncRecv struct {
+	client   int
+	entries  []psArrival
+	deferred []spill.Record
+	bytes    int
+	floats   int
+	dropped  int
+	missed   bool
+	expired  bool
+	dead     bool
+	err      error
+}
+
+// recvAsyncUploads reads client id's frames for async round `round`
+// until the round marker — a frame tagged with the current round —
+// arrives or the window deadline passes. Stale frames within the bound
+// are admitted down-weighted, frames past it are dropped, and a
+// future-round frame means this round's marker was lost: its model is
+// handed back for the spill buffer and the marker counts as missed.
+// The reader owns the connection for the duration of the barrier, so
+// it narrows the per-frame timeout toward the window deadline before
+// each Recv (Recv re-arms conn.Timeout itself; see transport.Conn).
+func (p *PS) recvAsyncUploads(id, round int, conn *transport.Conn, deadline time.Time) asyncRecv {
+	out := asyncRecv{client: id}
+	saved := conn.Timeout
+	defer func() { conn.Timeout = saved }()
+	bad := 0
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			out.missed, out.expired = true, true
+			return out
+		}
+		if saved > 0 && remain > saved {
+			remain = saved
+		}
+		conn.Timeout = remain
+		m, err := conn.Recv()
+		if err != nil {
+			switch {
+			case errors.Is(err, transport.ErrBadChecksum), errors.Is(err, transport.ErrBadMAC),
+				errors.Is(err, transport.ErrBadPayload):
+				if p.cfg.Tolerant {
+					p.om.framesSkipped.Inc()
+					if bad++; bad >= maxBadFrames {
+						out.missed = true
+						out.err = errors.New("too many unreadable frames")
+						return out
+					}
+					continue
+				}
+				out.dead, out.err = true, err
+				return out
+			case isTimeout(err):
+				// The window closed with this marker still outstanding
+				// (in async mode a missing marker is the expected face of
+				// a straggler, not a protocol fault): aggregate without
+				// it.
+				out.missed, out.expired = true, true
+				out.err = err
+				return out
+			default:
+				out.dead, out.err = true, err
+				return out
+			}
+		}
+		if m.Type != transport.TypeUpload {
+			out.dead = true
+			out.err = fmt.Errorf("unexpected %s (round %d) from client %d", m.Type, m.Round, id)
+			return out
+		}
+		d := sched.DecideAt(sched.Async, round, int(m.Round), p.cfg.Staleness)
+		switch d.Outcome {
+		case sched.Accept, sched.AcceptStale:
+			if m.Flag != 1 {
+				if d.Outcome == sched.Accept {
+					return out // skip marker: nothing this round
+				}
+				continue // a stale skip frame carries nothing
+			}
+			pl, perr := m.ModelPayload()
+			if perr != nil {
+				// The frame checksummed, so a malformed payload is a
+				// sender lying on the wire; tolerant mode degrades it to
+				// a miss (the marker is consumed) or a skipped stale
+				// frame, strict mode condemns the connection.
+				if !p.cfg.Tolerant {
+					out.dead, out.err = true, perr
+					return out
+				}
+				p.om.framesSkipped.Inc()
+				if d.Outcome == sched.Accept {
+					out.missed, out.err = true, perr
+					return out
+				}
+				if bad++; bad >= maxBadFrames {
+					out.missed = true
+					return out
+				}
+				continue
+			}
+			out.entries = append(out.entries, psArrival{
+				client: id, origin: int(m.Round), stale: d.Staleness, weight: d.Weight, view: pl,
+			})
+			out.bytes += m.ModelWireBytes()
+			out.floats += m.ModelWireFloats()
+			if d.Outcome == sched.Accept {
+				return out // the marker closes this connection's round
+			}
+		case sched.Defer:
+			// A future-round frame: this round's marker was lost and the
+			// client has moved on. Park the model for replay when its
+			// round opens; the marker counts as missed.
+			if m.Flag == 1 {
+				rec := spill.Record{Client: id, Server: p.cfg.ID, Origin: int(m.Round), Due: int(m.Round)}
+				if m.Payload != nil {
+					rec.Enc, rec.Data = byte(m.Enc), m.Payload
+				} else {
+					rec.Enc, rec.Data = byte(compress.EncDense), denseWire(m.Vec)
+				}
+				out.deferred = append(out.deferred, rec)
+				out.bytes += m.ModelWireBytes()
+				out.floats += m.ModelWireFloats()
+			}
+			out.missed = true
+			return out
+		case sched.DropStale:
+			if m.Flag == 1 {
+				out.bytes += m.ModelWireBytes()
+				out.floats += m.ModelWireFloats()
+				out.dropped++
+			}
+		}
+	}
+}
+
+// serveRoundAsync implements one windowed aggregation + dissemination
+// round: replay the spill, read every connection up to its round
+// marker or the window deadline, admit stale uploads down-weighted,
+// aggregate through the weighted kernels, checkpoint, disseminate.
+func (p *PS) serveRoundAsync(round int, conns []*transport.Conn) error {
+	var barrierStart time.Time
+	if p.obsOn {
+		barrierStart = time.Now()
+	}
+
+	// Spill replay: records parked for this round (or still admissibly
+	// stale) join the member set before any socket is read, so a
+	// checkpoint restart resumes mid-window instead of dropping the
+	// late uploads. Popping exactly Len() records cycles not-yet-due
+	// ones to the back once, preserving FIFO across rounds.
+	var entries []psArrival
+	dropped := 0
+	for n := p.spill.Len(); n > 0; n-- {
+		rec, ok, err := p.spill.Pop()
+		if err != nil {
+			return fmt.Errorf("node: PS %d round %d spill: %w", p.cfg.ID, round, err)
+		}
+		if !ok {
+			break
+		}
+		d := sched.DecideAt(sched.Async, round, rec.Origin, p.cfg.Staleness)
+		switch d.Outcome {
+		case sched.Defer:
+			if err := p.spill.Add(rec); err != nil {
+				return fmt.Errorf("node: PS %d round %d spill requeue: %w", p.cfg.ID, round, err)
+			}
+		case sched.Accept, sched.AcceptStale:
+			pl, perr := compress.ParsePayload(compress.Encoding(rec.Enc), rec.Data)
+			if perr != nil {
+				// The segment frame checksummed, so this payload was
+				// malformed at the sender; drop it like any other
+				// inadmissible upload.
+				dropped++
+				continue
+			}
+			entries = append(entries, psArrival{
+				client: rec.Client, origin: rec.Origin, stale: d.Staleness, weight: d.Weight, view: pl,
+			})
+		case sched.DropStale:
+			dropped++
+		}
+	}
+
+	// Window barrier: one reader per connection, all bounded by the
+	// same deadline. In a clean run every marker lands well inside the
+	// window and the deadline never fires — wall clock only bounds the
+	// faulty case, keeping seeded runs deterministic.
+	deadline := time.Now().Add(p.cfg.Window)
+	live := 0
+	results := make(chan asyncRecv, len(conns))
+	for id, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		live++
+		go func(id int, conn *transport.Conn) {
+			results <- p.recvAsyncUploads(id, round, conn, deadline)
+		}(id, conn)
+	}
+	if live == 0 {
+		return fmt.Errorf("node: PS %d round %d: no live clients", p.cfg.ID, round)
+	}
+
+	var missed, lost, expired, bytesIn, floatsIn int
+	var deferRecs []spill.Record
+	var firstErr error
+	for i := 0; i < live; i++ {
+		r := <-results
+		switch {
+		case r.dead && !p.cfg.Tolerant:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node: PS %d round %d: client %d: %w", p.cfg.ID, round, r.client, r.err)
+			}
+		case r.dead:
+			_ = conns[r.client].Close()
+			conns[r.client] = nil
+			lost++
+			missed++
+		default:
+			if r.missed {
+				missed++
+			}
+			if r.expired {
+				expired++
+			}
+			entries = append(entries, r.entries...)
+			deferRecs = append(deferRecs, r.deferred...)
+			dropped += r.dropped
+			bytesIn += r.bytes
+			floatsIn += r.floats
+		}
+	}
+	var barrierWait time.Duration
+	if p.obsOn {
+		barrierWait = time.Since(barrierStart)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Deferred records enter the spill in (client, origin) order, not
+	// reader-completion order, so the segment content — and the
+	// mem-vs-disk split under a tight MemLimit — is reproducible.
+	sort.Slice(deferRecs, func(i, j int) bool {
+		if deferRecs[i].Client != deferRecs[j].Client {
+			return deferRecs[i].Client < deferRecs[j].Client
+		}
+		return deferRecs[i].Origin < deferRecs[j].Origin
+	})
+	for _, rec := range deferRecs {
+		if err := p.spill.Add(rec); err != nil {
+			return fmt.Errorf("node: PS %d round %d spill: %w", p.cfg.ID, round, err)
+		}
+	}
+	deferred := len(deferRecs)
+
+	// Weighted aggregation over the admitted set in (client, origin)
+	// order. The weighted kernels reproduce the unweighted rules bit
+	// for bit at weight 1 (the aggregate.WeightedRule contract), so a
+	// wide window degenerates to the sync barrier's aggregate exactly.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].client != entries[j].client {
+			return entries[i].client < entries[j].client
+		}
+		return entries[i].origin < entries[j].origin
+	})
+	fresh, staleN := 0, 0
+	for _, e := range entries {
+		if e.stale == 0 {
+			fresh++
+		} else {
+			staleN++
+		}
+	}
+	var agg []float64
+	aggFused, aggSharded := false, false
+	var shardPeak int64
+	var dst []float64
+	if p.cfg.Attack == nil {
+		dst = p.aggBuf
+	}
+	if len(entries) == 0 {
+		if p.lastAgg == nil {
+			return fmt.Errorf("node: PS %d round %d: no uploads and no previous aggregate", p.cfg.ID, round)
+		}
+		agg = append([]float64(nil), p.lastAgg...)
+	} else {
+		dim := entries[0].view.Dim()
+		ordered := make([]compress.Payload, len(entries))
+		weights := make([]float64, len(entries))
+		for i, e := range entries {
+			if e.view.Dim() != dim {
+				return fmt.Errorf("node: PS %d round %d: dimension mismatch from client %d", p.cfg.ID, round, e.client)
+			}
+			ordered[i] = e.view
+			weights[i] = e.weight
+		}
+		if p.cfg.Shards > 1 {
+			agg, aggSharded, shardPeak = aggregate.ShardAggregateWeightedPayloads(p.cfg.ServerRule, dst, ordered, weights, p.cfg.Shards)
+			aggFused = aggSharded
+		} else {
+			agg, aggFused = aggregate.AggregateWeightedPayloads(p.cfg.ServerRule, dst, ordered, weights)
+		}
+		if dst != nil {
+			p.aggBuf = agg
+		}
+	}
+
+	p.mu.Lock()
+	p.lastAgg = agg
+	p.stats.RoundsServed++
+	p.stats.UploadsReceived += len(entries)
+	p.stats.UploadsMissed += missed
+	p.stats.UploadsStale += staleN
+	p.stats.UploadsDropped += dropped
+	p.stats.UploadsDeferred += deferred
+	p.stats.WindowExpired += expired
+	p.stats.ClientsLost += lost
+	p.stats.BytesIn += bytesIn
+	p.stats.FloatsIn += floatsIn
+	if shardPeak > p.stats.ShardPeakBytes {
+		p.stats.ShardPeakBytes = shardPeak
+	}
+	if pd := p.spill.PeakDiskBytes(); pd > p.stats.SpillPeakBytes {
+		p.stats.SpillPeakBytes = pd
+	}
+	p.mu.Unlock()
+	p.om.rounds.Inc()
+	p.om.uploadsRecv.Add(int64(len(entries)))
+	p.om.uploadsMissed.Add(int64(missed))
+	p.om.clientsLost.Add(int64(lost))
+	p.om.bytesIn.Add(int64(bytesIn))
+	p.om.floatsIn.Add(int64(floatsIn))
+	p.om.winFresh.Add(int64(fresh))
+	p.om.winStale.Add(int64(staleN))
+	p.om.winDropped.Add(int64(dropped))
+	p.om.winDeferred.Add(int64(deferred))
+	p.om.windowExpired.Add(int64(expired))
+	if p.cfg.Obs != nil {
+		for _, e := range entries {
+			p.om.staleHist.Observe(float64(e.stale))
+		}
+	}
+	p.om.spillDepth.Set(int64(p.spill.Len()))
+	p.om.spillBytes.Set(p.spill.MemBytes() + p.spill.DiskBytes())
+	if len(entries) > 0 {
+		switch {
+		case aggSharded:
+			p.om.aggSharded.Inc()
+			if shardPeak > 0 {
+				p.om.shardPeakBytes.Set(shardPeak)
+			}
+		case aggFused:
+			p.om.aggFused.Inc()
+		default:
+			p.om.aggFallback.Inc()
+		}
+		p.om.aggDecodeBytes.Add(int64(bytesIn))
+	}
+	p.om.barrierWait.ObserveDuration(barrierWait)
+
+	// Window close is the async commit point: persist the round
+	// horizon, the aggregate and the flushed spill manifest, so a
+	// restart re-enters the protocol exactly here.
+	if p.cfg.CheckpointPath != "" {
+		man, err := p.spill.Flush()
+		if err != nil {
+			return fmt.Errorf("node: PS %d round %d spill flush: %w", p.cfg.ID, round, err)
+		}
+		if man.Bytes > 0 {
+			// Flushing pushes the in-memory backlog to disk, so the
+			// segment high-water mark can move after the round's stats
+			// snapshot.
+			p.mu.Lock()
+			if man.Bytes > p.stats.SpillPeakBytes {
+				p.stats.SpillPeakBytes = man.Bytes
+			}
+			p.mu.Unlock()
+		}
+		st := &checkpoint.State{Round: round + 1, Seed: p.cfg.Seed, Params: agg}
+		checkpoint.WriteAsyncMeta(st, checkpoint.AsyncState{
+			Window: p.cfg.Window, Staleness: p.cfg.Staleness,
+			SpillPath: man.Path, SpillRecords: man.Records, SpillBytes: man.Bytes,
+		})
+		if err := checkpoint.SaveFile(p.cfg.CheckpointPath, st); err != nil {
+			return fmt.Errorf("node: PS %d round %d checkpoint: %w", p.cfg.ID, round, err)
+		}
+	}
+
+	return p.disseminate(round, agg, conns, roundTally{
+		members: len(entries), missed: missed, lost: lost,
+		bytesIn: bytesIn, barrierWait: barrierWait,
+		stale: staleN, dropped: dropped, deferred: deferred, expired: expired,
+	})
+}
+
+// denseWire serializes a dense model to the codec wire format
+// (little-endian float64s), so a parked dense upload round-trips
+// bit-exactly through compress.ParsePayload(EncDense, ·). Mirrors the
+// engine's helper of the same name.
+func denseWire(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
 }
 
 // isTimeout reports whether err is a network timeout (deadline

@@ -19,11 +19,16 @@
 //
 // Version 2 frames replace the dense vector with a tagged codec payload
 // (see internal/compress): after flag comes enc uint8 (the
-// compress.Encoding tag), textLen uint32, payLen uint32 (payload BYTES),
+// compress.Encoding tag), stale uint8 (the async staleness tag: how
+// many rounds old the carried model is, saturating at 255; 0 on every
+// synchronous frame), textLen uint32, payLen uint32 (payload BYTES),
 // then text, payload, crc. Dense models always travel as v1 frames, so
 // a dense-only deployment's wire bytes are byte-identical to the
 // pre-codec protocol; v2 is only emitted for peers that advertised
-// support via HelloCodecV2 in their Hello.
+// support via HelloCodecV2 in their Hello. The staleness tag is
+// diagnostic — the authoritative staleness is the round field, which
+// the scheduler compares against its own cursor — so async mode works
+// over v1 frames too.
 //
 // The checksum protects against framing bugs and torn writes, which in
 // a model-exchange protocol would otherwise corrupt training silently.
@@ -119,6 +124,11 @@ type Message struct {
 	Text   string
 	Vec    []float64
 
+	// Stale is the async staleness tag of version-2 frames: how many
+	// rounds old the carried model is at send time, saturating at 255.
+	// Zero on every synchronous frame; v1 frames do not carry it.
+	Stale uint8
+
 	// Enc tags the encoding of Payload on version-2 frames.
 	Enc compress.Encoding
 	// Payload carries the encoded model of a version-2 frame. When nil
@@ -141,9 +151,9 @@ var (
 
 const headerLen = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4
 
-// v2 header: magic, version, type, round, sender, flag, enc, textLen,
-// payLen.
-const headerLenV2 = 2 + 1 + 1 + 4 + 4 + 4 + 1 + 4 + 4
+// v2 header: magic, version, type, round, sender, flag, enc, stale,
+// textLen, payLen.
+const headerLenV2 = 2 + 1 + 1 + 4 + 4 + 4 + 1 + 1 + 4 + 4
 
 // ModelVec returns the dense model the frame carries: Vec for v1
 // frames, the decoded codec payload for v2 frames. Decode failures wrap
@@ -254,8 +264,9 @@ func appendEncodeV2(dst []byte, m *Message) []byte {
 	binary.LittleEndian.PutUint32(buf[8:], m.Sender)
 	binary.LittleEndian.PutUint32(buf[12:], m.Flag)
 	buf[16] = uint8(m.Enc)
-	binary.LittleEndian.PutUint32(buf[17:], uint32(textLen))
-	binary.LittleEndian.PutUint32(buf[21:], uint32(payLen))
+	buf[17] = m.Stale
+	binary.LittleEndian.PutUint32(buf[18:], uint32(textLen))
+	binary.LittleEndian.PutUint32(buf[22:], uint32(payLen))
 	copy(buf[headerLenV2:], m.Text)
 	off := headerLenV2 + textLen
 	copy(buf[off:], m.Payload)
@@ -316,8 +327,8 @@ func Decode(r io.Reader) (*Message, error) {
 		modelBytes = 8 * vecLen
 	} else {
 		enc = compress.Encoding(header[16])
-		textLen = int(binary.LittleEndian.Uint32(header[17:]))
-		modelBytes = int(binary.LittleEndian.Uint32(header[21:]))
+		textLen = int(binary.LittleEndian.Uint32(header[18:]))
+		modelBytes = int(binary.LittleEndian.Uint32(header[22:]))
 		if textLen > MaxTextLen || modelBytes > MaxPayloadLen {
 			return nil, ErrTooLarge
 		}
@@ -349,6 +360,7 @@ func Decode(r io.Reader) (*Message, error) {
 			return nil, fmt.Errorf("%w: unknown encoding tag %d", ErrBadPayload, uint8(enc))
 		}
 		m.Enc = enc
+		m.Stale = header[17]
 		// make (not append) so an empty payload stays non-nil and the
 		// message re-encodes as v2.
 		m.Payload = make([]byte, modelBytes)

@@ -30,7 +30,7 @@ func TestV2RoundTripPerEncoding(t *testing.T) {
 		enc, payload := codecPayload(t, spec, v)
 		m := &Message{
 			Type: TypeUpload, Round: 12, Sender: 3, Flag: 1, Text: "x",
-			Enc: enc, Payload: payload,
+			Stale: 2, Enc: enc, Payload: payload,
 		}
 		frame := Encode(m)
 		if frame[2] != Version2 {
@@ -44,7 +44,7 @@ func TestV2RoundTripPerEncoding(t *testing.T) {
 			t.Fatalf("%s: payload did not round-trip", spec)
 		}
 		if got.Type != m.Type || got.Round != m.Round || got.Sender != m.Sender ||
-			got.Flag != m.Flag || got.Text != m.Text || got.Vec != nil {
+			got.Flag != m.Flag || got.Text != m.Text || got.Vec != nil || got.Stale != 2 {
 			t.Fatalf("%s: header fields did not round-trip: %+v", spec, got)
 		}
 		vec, err := got.ModelVec()
@@ -147,7 +147,7 @@ func TestV2CorruptPayloadIsChecksumError(t *testing.T) {
 func TestV2OversizePayloadRejected(t *testing.T) {
 	enc, payload := codecPayload(t, "q8", []float64{1, 2})
 	frame := Encode(&Message{Type: TypeUpload, Enc: enc, Payload: payload})
-	binary.LittleEndian.PutUint32(frame[21:], uint32(MaxPayloadLen+1))
+	binary.LittleEndian.PutUint32(frame[headerLenV2-4:], uint32(MaxPayloadLen+1))
 	if _, err := Decode(bytes.NewReader(frame)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("got %v, want ErrTooLarge", err)
 	}
