@@ -35,7 +35,15 @@ test:
 # reader goroutine per connection racing a window deadline, stale
 # admission, disk-backed spill) is the most concurrent round path, and
 # two seeded runs must stay bit-identical under the race detector —
-# its divergences should fail by name before the full suite.
+# its divergences should fail by name before the full suite. The ingest
+# tier runs seventh, in two deliberately split stages: the connection
+# flood + junk storm chaos gate (10k garbage connections racing the
+# concurrent accept stage must leave the final model bit-identical)
+# runs WITH -race because the accept path is goroutine-per-handshake;
+# the Decode allocation gates run WITHOUT -race because the race
+# runtime's shadow allocations make testing.AllocsPerRun and TotalAlloc
+# deltas meaningless (the gates skip themselves under -race, so this
+# named no-race stage is the only place they actually assert).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Gemm' ./internal/tensor/
@@ -47,6 +55,8 @@ verify:
 	$(GO) test -race -run 'TestDistributedShardedMatchesEngine|TestDistributedParticipationMatchesEngine' ./internal/node/
 	$(GO) test -race -run 'TestAsyncDeterminismChaos' ./internal/node/
 	$(GO) test -race -run 'TestAsyncDeterminism|TestAsyncSpillPathsBitIdentical' ./internal/core/
+	$(GO) test -race -run 'TestChaosFloodJunkStorm' ./internal/node/
+	$(GO) test -run 'TestDecodeOversizeClaimBounded|TestHelloPrefilterRejectZeroAlloc' ./internal/transport/
 	$(GO) test -race ./...
 
 # Just the fault-injection surface under the race detector.

@@ -64,6 +64,7 @@ func diffBenchReports(out io.Writer, base, fresh *BenchReport, tol float64) erro
 		{"loss_rule", base.LossRule, fresh.LossRule},
 		{"scale", base.Scale, fresh.Scale},
 		{"async_round", base.AsyncRound, fresh.AsyncRound},
+		{"ingest", base.Ingest, fresh.Ingest},
 	}
 	var regressions []string
 	for _, sec := range sections {

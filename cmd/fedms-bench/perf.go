@@ -8,7 +8,10 @@ package main
 // across PRs (see EXPERIMENTS.md "Performance").
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -36,8 +39,12 @@ import (
 // two-tier shard tree, with peak per-shard accumulator bytes); v7
 // added the async_round section (the weighted aggregation kernels the
 // bounded-staleness admission path threads stale weights through, plus
-// engine rounds in sync, fresh-async and stale-async regimes).
-const BenchSchema = "fedms-bench/perf/v7"
+// engine rounds in sync, fresh-async and stale-async regimes); v8 added
+// the ingest section (the hello prefilter verdict on valid and junk
+// headers, the bounded oversize-claim rejection path through
+// DecodeBounded, and hellos/sec admitted on a real loopback listener
+// with a junk connection interleaved per hello).
+const BenchSchema = "fedms-bench/perf/v8"
 
 // BenchEntry is one measured operation.
 type BenchEntry struct {
@@ -116,7 +123,15 @@ type BenchReport struct {
 	// that pushes uploads through stale admission and deferral every
 	// round.
 	AsyncRound []BenchEntry `json:"async_round,omitempty"`
-	Round      RoundBench   `json:"round"`
+	// Ingest measures the pre-auth accept path: the zero-allocation
+	// hello prefilter (valid header, junk preamble, forged length
+	// claim), the bounded Decode rejection of an oversize-but-valid
+	// frame (chunked discard + CRC, never materializing the body), and
+	// end-to-end hello admission over a real loopback listener with a
+	// junk connection interleaved per hello — the shape the chaos flood
+	// gate runs at scale.
+	Ingest []BenchEntry `json:"ingest,omitempty"`
+	Round  RoundBench   `json:"round"`
 }
 
 // measure averages fn over enough iterations to fill minTime, reporting
@@ -500,6 +515,87 @@ func runPerf(out io.Writer, path string, seed uint64, quick bool) (*BenchReport,
 		if err := mk("async_round/stale", true, time.Second/4, 2); err != nil {
 			return nil, fmt.Errorf("async round benchmark: %w", err)
 		}
+	}
+
+	fmt.Fprintln(out, "Performance pass (pre-auth ingest path):")
+	{
+		helloFrame := transport.Encode(&transport.Message{
+			Type: transport.TypeHello, Sender: 7, Flag: 7, Text: "enc:v2"})
+		junk := []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+		forged := transport.Encode(&transport.Message{
+			Type: transport.TypeHello, Flag: 1, Vec: []float64{1}})
+		binary.LittleEndian.PutUint32(forged[20:], uint32(transport.MaxVecLen))
+
+		add(&report.Ingest, "ingest/prefilter_hello_accept", 0, 0, 0, func() {
+			if _, err := transport.HelloPrefilter(helloFrame, transport.HelloMaxBodyLen); err != nil {
+				panic(err)
+			}
+		})
+		add(&report.Ingest, "ingest/prefilter_reject_junk", 0, 0, 0, func() {
+			if _, err := transport.HelloPrefilter(junk, transport.HelloMaxBodyLen); err == nil {
+				panic("junk passed the prefilter")
+			}
+		})
+		add(&report.Ingest, "ingest/prefilter_reject_forged_claim", 0, 0, 0, func() {
+			if _, err := transport.HelloPrefilter(forged, transport.HelloMaxBodyLen); err == nil {
+				panic("forged length claim passed the prefilter")
+			}
+		})
+
+		// An oversize-but-well-formed frame: claims within the protocol
+		// maxima but over the hello cap, so DecodeBounded must discard
+		// the body in chunks and CRC-verify it without ever allocating
+		// the claimed size.
+		oversize := transport.Encode(&transport.Message{
+			Type: transport.TypeHello, Flag: 1,
+			Vec: benchVecs(seed^0x16e57, 1, 8192)[0]})
+		addFramed(&report.Ingest, "ingest/decode_oversize_reject", 8192, len(oversize), func() {
+			if _, err := transport.DecodeBounded(bytes.NewReader(oversize), transport.HelloMaxBodyLen); !errors.Is(err, transport.ErrTooLarge) {
+				panic(fmt.Sprintf("oversize frame: got %v, want ErrTooLarge", err))
+			}
+		})
+
+		// Hellos admitted per op over a real listener, with one junk
+		// connection interleaved per hello — the accept path the chaos
+		// flood gate exercises at 10k connections.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("ingest benchmark: %w", err)
+		}
+		go func() {
+			for {
+				raw, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(raw net.Conn) {
+					defer raw.Close()
+					c := transport.NewConn(raw)
+					c.Timeout = time.Second
+					c.SetMaxBodyLen(transport.HelloMaxBodyLen)
+					if err := c.PrefilterHello(transport.HelloMaxBodyLen); err != nil {
+						return
+					}
+					_, _ = c.Recv()
+				}(raw)
+			}
+		}()
+		dial := func(payload []byte) {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				panic(err)
+			}
+			_, _ = conn.Write(payload)
+			// Wait for the server-side close so the op measures
+			// admission, not just the dial.
+			_, _ = conn.Read(make([]byte, 1))
+			conn.Close()
+		}
+		addFramed(&report.Ingest, "ingest/loopback_hello_junk_storm", 0, len(helloFrame), func() {
+			dial(junk)
+			dial(helloFrame)
+		})
+		ln.Close()
 	}
 
 	fmt.Fprintln(out, "Performance pass (round wall-clock):")

@@ -75,6 +75,11 @@ type options struct {
 	key        string
 	timeout    time.Duration
 
+	helloDeadline time.Duration
+	acceptRate    float64
+	acceptBurst   int
+	connectToken  bool
+
 	faultDrop     float64
 	faultCorrupt  float64
 	faultDup      float64
@@ -149,6 +154,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.seed, "seed", 1, "shared experiment seed")
 	fs.StringVar(&o.key, "key", "", "shared secret enabling per-frame HMAC authentication")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-frame network timeout")
+	fs.DurationVar(&o.helloDeadline, "hello-deadline", 0, "PS per-frame deadline for a new connection's hello handshake (0 = default; slow-loris sockets are cut here)")
+	fs.Float64Var(&o.acceptRate, "accept-rate", 0, "PS per-source accept rate limit in connections/second (0 = unlimited)")
+	fs.IntVar(&o.acceptBurst, "accept-burst", 0, "per-source accept token-bucket size (requires -accept-rate; 0 = default)")
+	fs.BoolVar(&o.connectToken, "connect-token", false, "PS admits only hellos presenting a valid connect token derived from -key (clients mint theirs automatically)")
 	fs.Float64Var(&o.faultDrop, "fault-drop", 0, "per-frame probability a sent frame is silently dropped")
 	fs.Float64Var(&o.faultCorrupt, "fault-corrupt", 0, "per-frame probability one bit of a sent frame is flipped")
 	fs.Float64Var(&o.faultDup, "fault-duplicate", 0, "per-frame probability a sent frame is written twice")
@@ -279,6 +288,23 @@ func run(args []string) error {
 	// the check runs after resolveRules below.
 	if err := o.validateAsync(); err != nil {
 		return err
+	}
+	// Ingest knobs fail fast before any socket opens, mirroring
+	// node.NewPS validation but naming the offending flag.
+	if o.helloDeadline < 0 {
+		return fmt.Errorf("-hello-deadline: must be non-negative, got %v", o.helloDeadline)
+	}
+	if o.acceptRate < 0 {
+		return fmt.Errorf("-accept-rate: must be non-negative, got %v", o.acceptRate)
+	}
+	if o.acceptBurst < 0 {
+		return fmt.Errorf("-accept-burst: must be non-negative, got %d", o.acceptBurst)
+	}
+	if o.acceptBurst > 0 && o.acceptRate == 0 {
+		return fmt.Errorf("-accept-burst requires -accept-rate")
+	}
+	if o.connectToken && o.key == "" {
+		return fmt.Errorf("-connect-token requires -key (tokens are derived from the shared secret)")
 	}
 	// Codec specs are validated here, before any socket opens, so a typo
 	// fails with a usage message instead of a half-started federation.
@@ -584,6 +610,12 @@ func (o *options) fedmsConfig() fedms.Config {
 		Dataset:      fedms.DatasetSpec{Samples: o.samples, Alpha: o.alpha, Noise: 2.0},
 		Seed:         o.seed,
 		EvalEvery:    -1,
+		Ingest: fedms.IngestConfig{
+			HelloDeadline: o.helloDeadline,
+			AcceptRate:    o.acceptRate,
+			AcceptBurst:   o.acceptBurst,
+			RequireToken:  o.connectToken,
+		},
 	}
 }
 
@@ -629,6 +661,10 @@ func runPS(o *options, st *obsState) error {
 		Key:             o.authKey(),
 		Timeout:         o.psTimeout(),
 		Tolerant:        o.tolerant(),
+		HelloDeadline:   o.helloDeadline,
+		AcceptRate:      o.acceptRate,
+		AcceptBurst:     o.acceptBurst,
+		RequireToken:    o.connectToken,
 		Faults:          o.faultInjector(),
 		CrashAfterRound: o.faultCrash,
 		Logger:          st.logger,
@@ -757,6 +793,10 @@ func runLocal(o *options, st *obsState) error {
 			Key:             o.authKey(),
 			Timeout:         o.psTimeout(),
 			Tolerant:        tolerant,
+			HelloDeadline:   o.helloDeadline,
+			AcceptRate:      o.acceptRate,
+			AcceptBurst:     o.acceptBurst,
+			RequireToken:    o.connectToken,
 			Faults:          fi,
 			CrashAfterRound: crash,
 			Logger:          st.logger,

@@ -63,6 +63,10 @@ func run(args []string) error {
 		spillMem   = fs.Int("spill-mem", 0, "in-memory byte budget for deferred uploads before spilling to disk (requires -async; 0 = default)")
 		codec      = fs.String("codec", "dense", "upload codec spec: dense, topk:R, randk:R or qN, optionally ef+ prefixed")
 		downCodec  = fs.String("downlink-codec", "dense", "downlink codec spec (same grammar, no ef+)")
+		helloDL    = fs.Duration("hello-deadline", 0, "distributed ingest: PS hello handshake deadline recorded in the config (0 = default)")
+		acceptRate = fs.Float64("accept-rate", 0, "distributed ingest: per-source accept rate limit in conns/sec (0 = unlimited)")
+		acceptBst  = fs.Int("accept-burst", 0, "distributed ingest: per-source accept token-bucket size (requires -accept-rate)")
+		connectTok = fs.Bool("connect-token", false, "distributed ingest: require hellos to present a connect token")
 		ckptPath   = fs.String("ckpt", "", "save the final consensus model to this checkpoint file")
 		asPlot     = fs.Bool("plot", false, "render the accuracy curve as an ASCII chart at the end")
 		tracePath  = fs.String("trace", "", "write a JSONL round trace (one engine_round event per round) to this file")
@@ -129,6 +133,22 @@ func run(args []string) error {
 			}
 		}
 	}
+	// Ingest knobs fail fast with the flag name. The in-process engine
+	// opens no sockets — these only matter when the same Config drives
+	// the distributed runtime — but a bad value should not survive to
+	// that point.
+	if *helloDL < 0 {
+		return fmt.Errorf("-hello-deadline: must be non-negative, got %v", *helloDL)
+	}
+	if *acceptRate < 0 {
+		return fmt.Errorf("-accept-rate: must be non-negative, got %v", *acceptRate)
+	}
+	if *acceptBst < 0 {
+		return fmt.Errorf("-accept-burst: must be non-negative, got %d", *acceptBst)
+	}
+	if *acceptBst > 0 && *acceptRate == 0 {
+		return fmt.Errorf("-accept-burst requires -accept-rate")
+	}
 	up := fedms.SparseUpload
 	switch *upload {
 	case "sparse":
@@ -171,6 +191,12 @@ func run(args []string) error {
 		EvalEvery:     *evalEvery,
 		UploadCodec:   *codec,
 		DownlinkCodec: *downCodec,
+		Ingest: fedms.IngestConfig{
+			HelloDeadline: *helloDL,
+			AcceptRate:    *acceptRate,
+			AcceptBurst:   *acceptBst,
+			RequireToken:  *connectTok,
+		},
 	}
 	var trace *fedms.Trace
 	if *tracePath != "" {

@@ -336,6 +336,14 @@ type Config struct {
 	// per-stream residual.
 	DownlinkCodec string
 
+	// Ingest bounds the distributed runtime's pre-admission ingest path
+	// (hello deadline, per-source accept rate limiting, connect
+	// tokens). The in-process engine opens no sockets, so these knobs
+	// never affect a Run — they are validated here (fail-fast, before
+	// any experiment work) and threaded into each parameter server's
+	// node.PSConfig by fedms-node.
+	Ingest IngestConfig
+
 	// Obs, when non-nil, collects the engine's runtime metrics
 	// (fedms_engine_*). Observation never perturbs training: seeded
 	// runs are bit-identical with or without it.
@@ -344,6 +352,44 @@ type Config struct {
 	// stage timings and round statistics; write it out with
 	// Trace.WriteJSONL.
 	TraceSink *Trace
+}
+
+// IngestConfig is the distributed ingest policy shared by every
+// parameter server of a run: how long a new connection may take to
+// introduce itself, how fast any single source may dial, and whether
+// hellos must carry a connect token derived from the shared auth key.
+// The zero value keeps the node package's defaults.
+type IngestConfig struct {
+	// HelloDeadline bounds each frame of a new connection's hello
+	// handshake (default node.DefaultHelloDeadline).
+	HelloDeadline time.Duration
+	// AcceptRate, when positive, sheds connections from any source
+	// dialing faster than this many connections per second.
+	AcceptRate float64
+	// AcceptBurst is the per-source token-bucket size (requires
+	// AcceptRate; default node.DefaultAcceptBurst).
+	AcceptBurst int
+	// RequireToken admits only hellos presenting a valid connect token
+	// (requires a shared auth key on the node command line).
+	RequireToken bool
+}
+
+// validate fails fast on ingest knobs that NewPS would reject, before
+// any dataset or socket work happens.
+func (c IngestConfig) validate() error {
+	if c.HelloDeadline < 0 {
+		return fmt.Errorf("fedms: Ingest.HelloDeadline must be non-negative, got %v", c.HelloDeadline)
+	}
+	if c.AcceptRate < 0 {
+		return fmt.Errorf("fedms: Ingest.AcceptRate must be non-negative, got %v", c.AcceptRate)
+	}
+	if c.AcceptBurst < 0 {
+		return fmt.Errorf("fedms: Ingest.AcceptBurst must be non-negative, got %d", c.AcceptBurst)
+	}
+	if c.AcceptBurst > 0 && c.AcceptRate == 0 {
+		return fmt.Errorf("fedms: Ingest.AcceptBurst requires Ingest.AcceptRate")
+	}
+	return nil
 }
 
 // Result collects a finished run.
@@ -393,6 +439,9 @@ func Run(cfg Config) (*Result, error) {
 func BuildEngine(cfg Config) (*Engine, error) {
 	cfg = withDefaults(cfg)
 
+	if err := cfg.Ingest.validate(); err != nil {
+		return nil, err
+	}
 	train, test, err := buildDataset(cfg.Dataset, cfg.Seed)
 	if err != nil {
 		return nil, err

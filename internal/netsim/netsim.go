@@ -404,3 +404,56 @@ func (t *Topology) CompareUploads(rounds, modelBytes int, choice func(round, cli
 	}
 	return sparseTotal / time.Duration(rounds), fullTotal / time.Duration(rounds)
 }
+
+// AcceptTime models the accept-phase makespan of one PS admitting its
+// K clients, the analytic counterpart of the concurrent accept stage
+// (DESIGN.md §8 "Ingest contract"). Each client's hello costs its
+// link's transfer time for helloBytes; stalls is the number of
+// silent/slow-loris connections holding the accept path for a full
+// helloDeadline each without ever completing a hello — modelled as
+// dialing first, the adversary's best move. With pool <= 1 the accept
+// loop is serial (the pre-fix path): every stall and every handshake
+// queues behind the previous one, so the makespan is the *sum* of all
+// hold times and one silent socket delays every honest client behind
+// it. With pool > 1, handshakes overlap across pool slots and the
+// makespan is the greedy pool schedule's finish time — a stall costs
+// one slot for one deadline, not the whole phase.
+func (t *Topology) AcceptTime(server, helloBytes, stalls, pool int, helloDeadline time.Duration) time.Duration {
+	if server < 0 || server >= t.Servers {
+		panic(fmt.Sprintf("netsim: server %d out of range", server))
+	}
+	if stalls < 0 {
+		panic("netsim: negative stall count")
+	}
+	conns := make([]time.Duration, 0, stalls+t.Clients)
+	for i := 0; i < stalls; i++ {
+		conns = append(conns, helloDeadline)
+	}
+	for k := 0; k < t.Clients; k++ {
+		conns = append(conns, t.links[k][server].TransferTime(helloBytes))
+	}
+	if pool <= 1 {
+		var total time.Duration
+		for _, d := range conns {
+			total += d
+		}
+		return total
+	}
+	// Greedy FIFO schedule over pool slots: each connection lands on
+	// the earliest-free slot, in arrival order.
+	slots := make([]time.Duration, pool)
+	var makespan time.Duration
+	for _, d := range conns {
+		min := 0
+		for i := 1; i < pool; i++ {
+			if slots[i] < slots[min] {
+				min = i
+			}
+		}
+		slots[min] += d
+		if slots[min] > makespan {
+			makespan = slots[min]
+		}
+	}
+	return makespan
+}

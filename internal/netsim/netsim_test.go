@@ -279,3 +279,53 @@ func TestAsyncRoundTimeWithFaultsBounded(t *testing.T) {
 		t.Fatalf("fault schedule drew no events: %+v", fst1)
 	}
 }
+
+// TestAcceptTimeHeadOfLine: the analytic form of the accept-phase
+// head-of-line bug. Serially, each silent connection adds a full hello
+// deadline to every honest client's wait; with a handshake pool, the
+// stall overlaps the honest hellos and the makespan collapses to
+// roughly the slowest single handshake.
+func TestAcceptTimeHeadOfLine(t *testing.T) {
+	top := testTopology(t)
+	const helloBytes = 64
+	const deadline = 2 * time.Second
+	const stalls = 3
+
+	var sumHellos, maxHello time.Duration
+	for k := 0; k < top.Clients; k++ {
+		d := top.Link(k, 0).TransferTime(helloBytes)
+		sumHellos += d
+		if d > maxHello {
+			maxHello = d
+		}
+	}
+
+	serial := top.AcceptTime(0, helloBytes, stalls, 1, deadline)
+	if want := stalls*deadline + sumHellos; serial != want {
+		t.Fatalf("serial accept = %v, want sum of holds %v", serial, want)
+	}
+
+	pooled := top.AcceptTime(0, helloBytes, stalls, 64, deadline)
+	if want := max(deadline, maxHello); pooled != want {
+		t.Fatalf("pooled accept = %v, want slowest handshake %v", pooled, want)
+	}
+	if pooled >= serial {
+		t.Fatalf("pool gained nothing: pooled %v vs serial %v", pooled, serial)
+	}
+
+	// A pool smaller than the connection count still bounds the damage:
+	// monotone non-increasing in pool size.
+	prev := serial
+	for _, pool := range []int{2, 4, 8, 64} {
+		cur := top.AcceptTime(0, helloBytes, stalls, pool, deadline)
+		if cur > prev {
+			t.Fatalf("pool %d makespan %v exceeds smaller pool's %v", pool, cur, prev)
+		}
+		prev = cur
+	}
+
+	// No stalls: pooled accept is just the slowest hello.
+	if got := top.AcceptTime(0, helloBytes, 0, 64, deadline); got != maxHello {
+		t.Fatalf("clean pooled accept = %v, want %v", got, maxHello)
+	}
+}

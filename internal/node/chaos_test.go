@@ -1,10 +1,12 @@
 package node
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log/slog"
 	"math"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -55,6 +57,13 @@ type chaosOpts struct {
 	spillDir     string
 	spillMem     int
 	checkpoint   map[int]string
+
+	// flood hammers every PS listener with this many junk connections
+	// (garbage bytes, wrong-type frames, forged-length headers) spread
+	// over the whole run — accept phase and rounds alike. The ingest
+	// path must shed them all: the scenario's models and stats are
+	// asserted bit-identical to the flood-free run.
+	flood int
 
 	psTimeout     time.Duration
 	clientTimeout time.Duration
@@ -124,6 +133,34 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 		addrs[i] = ps.Addr()
 	}
 
+	// The junk storm runs concurrently with the entire federation; its
+	// dial errors are expected once listeners start closing.
+	var floodWG sync.WaitGroup
+	if o.flood > 0 {
+		const workers = 32
+		junk := [][]byte{
+			[]byte("GET / HTTP/1.1\r\nHost: ps\r\n\r\n"),
+			[]byte("SSH-2.0-OpenSSH_9.6\r\n"),
+			transport.Encode(&transport.Message{Type: transport.TypeUpload, Flag: 1, Vec: []float64{1, 2}}),
+			floodForgedFrame(),
+			{0xD5, 0xFE}, // magic then silence (truncated header)
+		}
+		floodWG.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer floodWG.Done()
+				for i := w; i < o.flood; i += workers {
+					raw, err := net.DialTimeout("tcp", addrs[i%o.p], time.Second)
+					if err != nil {
+						continue
+					}
+					_, _ = raw.Write(junk[i%len(junk)])
+					_ = raw.Close()
+				}
+			}(w)
+		}
+	}
+
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.p+o.k)
 	for _, ps := range servers {
@@ -187,6 +224,7 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 		}(id, l)
 	}
 	wg.Wait()
+	floodWG.Wait()
 	close(errCh)
 	for err := range errCh {
 		t.Fatalf("chaos run failed: %v", err)
@@ -201,6 +239,61 @@ func runChaos(t *testing.T, o chaosOpts) ([][]float64, []PSStats, [][]ClientRoun
 		stats[i] = ps.Stats()
 	}
 	return params, stats, clientStats
+}
+
+// floodForgedFrame builds a hello whose length field claims the
+// protocol-maximum body — the unbounded-Decode attack shape: a
+// pre-fix server would allocate 512 MB from this header before any
+// validation. The prefilter must reject it from the peeked header.
+func floodForgedFrame() []byte {
+	frame := transport.Encode(&transport.Message{Type: transport.TypeHello, Flag: 1, Vec: []float64{1}})
+	binary.LittleEndian.PutUint32(frame[20:], uint32(transport.MaxVecLen))
+	return frame[:24] // header only: claim big, send nothing
+}
+
+// TestChaosFloodJunkStorm is the connection-flood chaos gate: a healthy
+// tolerant federation hammered by thousands of junk connections —
+// garbage preambles, wrong-type frames, forged 512 MB length claims,
+// truncated headers — must produce the bit-identical final model of
+// the flood-free run, with every round served and every upload
+// received. The flood overlaps the accept phase and the rounds; the
+// shed/prefilter path is the only thing standing between it and the
+// protocol. 10k connections under -race is the verify-stage load; the
+// short-mode run keeps a meaningful storm.
+func TestChaosFloodJunkStorm(t *testing.T) {
+	flood := 10000
+	if testing.Short() {
+		flood = 1000
+	}
+	base := chaosOpts{
+		k: 4, p: 2, rounds: 3, seed: 404,
+		filter:        aggregate.TrimmedMean{Beta: 0.2},
+		psTolerant:    true,
+		psTimeout:     5 * time.Second,
+		clientTimeout: 10 * time.Second,
+	}
+	clean, _, _ := runChaos(t, base)
+
+	stormy := base
+	stormy.flood = flood
+	stormed, stats, _ := runChaos(t, stormy)
+
+	assertSameParams(t, clean, stormed, "junk storm vs clean run")
+	uploads := 0
+	for i, st := range stats {
+		if st.RoundsServed != base.rounds {
+			t.Fatalf("PS %d protocol perturbed by flood: %+v", i, st)
+		}
+		if st.UploadsMissed != 0 || st.ClientsLost != 0 {
+			t.Fatalf("PS %d lost honest traffic under flood: %+v", i, st)
+		}
+		uploads += st.UploadsReceived
+	}
+	// The sparse-upload rule sends each client's model to exactly one
+	// PS per round; the flood must not cost a single one.
+	if uploads != base.k*base.rounds {
+		t.Fatalf("uploads received %d, want %d", uploads, base.k*base.rounds)
+	}
 }
 
 // TestChaosUploadFaultScenarios is the table-driven chaos tier: each

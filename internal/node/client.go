@@ -208,18 +208,34 @@ func dialPS(cfg *ClientConfig, i int, addr string, hello []float64, tm *transpor
 		}
 		conn.SetKey(cfg.Key)
 		conn.SetMetrics(tm)
+		// Two-frame hello: the first frame stays under the server's
+		// hello-phase body cap (no model, just the codec advertisement
+		// and — when a key is shared — the connect token that lets a
+		// restarted PS re-admit this client statelessly), and the model
+		// seed follows as a second TypeHello frame the server reads
+		// only after admitting the introduction.
+		info := transport.HelloInfo{CodecV2: cfg.AcceptEncodedDownlink}
+		if len(cfg.Key) > 0 {
+			info.Token = transport.ConnectToken(cfg.Key, cfg.Seed, cfg.ID)
+		}
 		msg := &transport.Message{
+			Type:   transport.TypeHello,
+			Sender: uint32(cfg.ID),
+			Flag:   uint32(cfg.ID) | transport.HelloSeedFlag,
+			Text:   info.Text(),
+		}
+		seedFrame := &transport.Message{
 			Type:   transport.TypeHello,
 			Sender: uint32(cfg.ID),
 			Flag:   uint32(cfg.ID),
 			Vec:    hello,
 		}
-		if cfg.AcceptEncodedDownlink {
-			// Version negotiation: only clients that advertise v2 ever
-			// receive codec-encoded global models.
-			msg.Text = transport.HelloCodecV2
-		}
 		if err := conn.Send(msg); err != nil {
+			_ = conn.Close()
+			lastErr = err
+			continue
+		}
+		if err := conn.Send(seedFrame); err != nil {
 			_ = conn.Close()
 			lastErr = err
 			continue

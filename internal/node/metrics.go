@@ -17,6 +17,10 @@ type psMetrics struct {
 	uploadsMissed  *obs.Counter
 	clientsLost    *obs.Counter
 	badAccepts     *obs.Counter
+	prefilterDrops *obs.Counter
+	tokenRejects   *obs.Counter
+	rateLimited    *obs.Counter
+	handshakePool  *obs.Gauge
 	framesSkipped  *obs.Counter
 	sendsFailed    *obs.Counter
 	bytesIn        *obs.Counter
@@ -52,20 +56,24 @@ func newPSMetrics(reg *obs.Registry, id int, rule string) *psMetrics {
 	l := `{ps="` + strconv.Itoa(id) + `"}`
 	c := func(name string) *obs.Counter { return reg.Counter("fedms_ps_" + name + "_total" + l) }
 	return &psMetrics{
-		rounds:        c("rounds_served"),
-		uploadsRecv:   c("uploads_received"),
-		uploadsMissed: c("uploads_missed"),
-		clientsLost:   c("clients_lost"),
-		badAccepts:    c("bad_accepts"),
-		framesSkipped: c("frames_skipped"),
-		sendsFailed:   c("sends_failed"),
-		bytesIn:       c("bytes_in"),
-		bytesOut:      c("bytes_out"),
-		floatsIn:      c("floats_in"),
-		floatsOut:     c("floats_out"),
-		aggFused:      c("agg_fused"),
-		aggFallback:   c("agg_fallback"),
-		aggSharded:    c("agg_sharded"),
+		rounds:         c("rounds_served"),
+		uploadsRecv:    c("uploads_received"),
+		uploadsMissed:  c("uploads_missed"),
+		clientsLost:    c("clients_lost"),
+		badAccepts:     c("bad_accepts"),
+		prefilterDrops: c("prefilter_drops"),
+		tokenRejects:   c("token_rejects"),
+		rateLimited:    c("rate_limited_conns"),
+		handshakePool:  reg.Gauge("fedms_ps_handshake_pool_depth" + l),
+		framesSkipped:  c("frames_skipped"),
+		sendsFailed:    c("sends_failed"),
+		bytesIn:        c("bytes_in"),
+		bytesOut:       c("bytes_out"),
+		floatsIn:       c("floats_in"),
+		floatsOut:      c("floats_out"),
+		aggFused:       c("agg_fused"),
+		aggFallback:    c("agg_fallback"),
+		aggSharded:     c("agg_sharded"),
 		aggDecodeBytes: reg.Counter(
 			`fedms_ps_agg_decode_bytes_total{ps="` + strconv.Itoa(id) + `",rule="` + rule + `"}`),
 		oracleEvals: reg.Counter(

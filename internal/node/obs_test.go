@@ -205,10 +205,15 @@ func TestPSTolerantAcceptSurvivesGarbage(t *testing.T) {
 	}
 }
 
-// TestPSTolerantAcceptFloodFatal: the tolerance is bounded — a flood of
-// maxBadAccepts malformed connections must still terminate Serve, so a
-// misdirected load generator cannot pin the accept loop forever.
-func TestPSTolerantAcceptFloodFatal(t *testing.T) {
+// TestPSTolerantAcceptFloodSurvives: tolerance is unbounded — the old
+// lifetime maxBadAccepts budget (32) turned a healthy PS fatal under a
+// long junk flood, so a misdirected load generator could kill a
+// federation before round 0. Now every junk connection is rejected by
+// the zero-allocation prefilter (counted in both BadAccepts and
+// PrefilterDrops) and the round completes once the real clients show.
+func TestPSTolerantAcceptFloodSurvives(t *testing.T) {
+	const flood = 48 // 1.5× the old lifetime budget
+	vec := []float64{1, 2, 3}
 	ps, err := NewPS(PSConfig{
 		ID: 0, ListenAddr: "127.0.0.1:0", Clients: 2, Rounds: 1,
 		Tolerant: true, Timeout: 5 * time.Second,
@@ -219,7 +224,7 @@ func TestPSTolerantAcceptFloodFatal(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- ps.Serve() }()
 
-	for i := 0; i < maxBadAccepts; i++ {
+	for i := 0; i < flood; i++ {
 		raw, err := net.Dial("tcp", ps.Addr())
 		if err != nil {
 			t.Fatal(err)
@@ -227,15 +232,24 @@ func TestPSTolerantAcceptFloodFatal(t *testing.T) {
 		_, _ = raw.Write([]byte("junk"))
 		_ = raw.Close()
 	}
-	err = <-serveErr
-	if err == nil {
-		t.Fatal("Serve survived a malformed-connection flood")
+	errCh := make(chan error, 2)
+	for id := 0; id < 2; id++ {
+		go runHandmadeClient(t, ps.Addr(), id, vec, errCh)
 	}
-	if !strings.Contains(err.Error(), "malformed connections") {
-		t.Fatalf("unexpected flood error: %v", err)
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatalf("client: %v", err)
+		}
 	}
-	if got := ps.Stats().BadAccepts; got != maxBadAccepts {
-		t.Fatalf("BadAccepts = %d, want %d", got, maxBadAccepts)
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve turned fatal under junk flood: %v", err)
+	}
+	st := ps.Stats()
+	if st.RoundsServed != 1 || st.UploadsReceived != 2 {
+		t.Fatalf("round incomplete after flood: %+v", st)
+	}
+	if st.BadAccepts < 1 || st.PrefilterDrops != st.BadAccepts {
+		t.Fatalf("junk should be prefilter-rejected: BadAccepts=%d PrefilterDrops=%d", st.BadAccepts, st.PrefilterDrops)
 	}
 }
 

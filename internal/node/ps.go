@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedms/internal/aggregate"
@@ -57,12 +58,25 @@ const DefaultTimeout = 10 * time.Second
 // round, so a flood of garbage cannot stall a round forever.
 const maxBadFrames = 8
 
-// maxBadAccepts bounds how many malformed connections a tolerant PS
-// absorbs during its accept phase — port scanners, corrupt first
-// frames, duplicate ids — before giving up, so a garbage flood still
-// terminates while a stray probe no longer kills a healthy
-// federation before round 0.
-const maxBadAccepts = 32
+// DefaultHelloDeadline bounds a new connection's hello handshake when
+// PSConfig.HelloDeadline is zero. It is deliberately much shorter than
+// DefaultTimeout: a peer that cannot produce a tiny hello within a
+// couple of seconds is a slow-loris socket or a port scanner, not a
+// slow client, and its handshake slot should recycle quickly.
+const DefaultHelloDeadline = 2 * time.Second
+
+// DefaultHandshakePool bounds how many hello handshakes may be pending
+// concurrently when PSConfig.HandshakePool is zero. The pool is the
+// server's only per-unadmitted-connection state: each slot costs one
+// goroutine and one hello-capped read buffer, so the worst-case memory
+// an unauthenticated flood can pin is pool × (stack + bufio buffer).
+const DefaultHandshakePool = 64
+
+// DefaultAcceptBurst is the per-source token-bucket size when
+// PSConfig.AcceptRate is set but AcceptBurst is zero: enough for a
+// client's dial-plus-quick-retry, small enough that one abusive source
+// is throttled within a handful of connections.
+const DefaultAcceptBurst = 4
 
 // ErrCrashed reports a parameter server that was crashed mid-protocol
 // (via Crash or CrashAfterRound).
@@ -120,6 +134,32 @@ type PSConfig struct {
 	// mode aborts Serve on any client fault — the paper's synchronous
 	// model.
 	Tolerant bool
+	// HelloDeadline bounds each frame of a new connection's hello
+	// handshake (default min(DefaultHelloDeadline, Timeout)). It is the
+	// most a slow-loris socket can hold a handshake slot.
+	HelloDeadline time.Duration
+	// HelloMaxBody caps the claimed body length of a not-yet-admitted
+	// connection's frames (default transport.HelloMaxBodyLen). The
+	// prefilter rejects larger claims from the peeked header before any
+	// allocation; admitted connections revert to the protocol maxima.
+	HelloMaxBody int
+	// HandshakePool bounds concurrently pending hello handshakes
+	// (default DefaultHandshakePool).
+	HandshakePool int
+	// AcceptRate, when positive, enables per-source token-bucket accept
+	// rate limiting: each remote host may open at most AcceptRate
+	// connections per second (bucket size AcceptBurst) before its
+	// connections are shed at accept. Zero disables limiting.
+	AcceptRate float64
+	// AcceptBurst is the per-source bucket size (default
+	// DefaultAcceptBurst; requires AcceptRate).
+	AcceptBurst int
+	// RequireToken admits only hellos carrying a valid connect token
+	// (transport.ConnectToken under Key and Seed). Requires Key. New
+	// clients obtain their token out of band — in this codebase the
+	// shared (Key, Seed) pair lets clients mint their own — and a
+	// restarted PS verifies statelessly: no issued-token table to lose.
+	RequireToken bool
 	// Faults, when non-nil, injects deterministic transport faults into
 	// this server's dissemination links (labelled "ps<ID>->c<k>"). The
 	// hello handshake is never faulted.
@@ -228,6 +268,18 @@ type PSStats struct {
 	// BadAccepts counts malformed connections absorbed during the
 	// accept phase (tolerant mode only; strict mode aborts instead).
 	BadAccepts int
+	// PrefilterDrops counts connections the zero-allocation hello
+	// prefilter rejected on the header alone — bad magic, bad version,
+	// first frame not a hello, or a body claim over the hello-phase cap
+	// (a subset of BadAccepts).
+	PrefilterDrops int
+	// TokenRejects counts hellos whose connect token failed
+	// verification under RequireToken (a subset of BadAccepts).
+	TokenRejects int
+	// RateLimited counts connections shed by the per-source accept rate
+	// limiter before any handshake work (not counted in BadAccepts —
+	// shedding is throughput control, not a protocol violation).
+	RateLimited int
 	// FloatsIn and FloatsOut count float64-equivalent model elements
 	// that actually crossed the wire: dense elements for v1 frames,
 	// ceil(payload bytes / 8) for codec frames. A failed downlink send
@@ -274,6 +326,42 @@ func NewPS(cfg PSConfig) (*PS, error) {
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.HelloDeadline < 0 {
+		return nil, fmt.Errorf("node: PS %d HelloDeadline must be non-negative, got %v", cfg.ID, cfg.HelloDeadline)
+	}
+	if cfg.HelloDeadline == 0 {
+		cfg.HelloDeadline = DefaultHelloDeadline
+		if cfg.Timeout < cfg.HelloDeadline {
+			cfg.HelloDeadline = cfg.Timeout
+		}
+	}
+	if cfg.HelloMaxBody < 0 {
+		return nil, fmt.Errorf("node: PS %d HelloMaxBody must be non-negative, got %d", cfg.ID, cfg.HelloMaxBody)
+	}
+	if cfg.HelloMaxBody == 0 {
+		cfg.HelloMaxBody = transport.HelloMaxBodyLen
+	}
+	if cfg.HandshakePool < 0 {
+		return nil, fmt.Errorf("node: PS %d HandshakePool must be non-negative, got %d", cfg.ID, cfg.HandshakePool)
+	}
+	if cfg.HandshakePool == 0 {
+		cfg.HandshakePool = DefaultHandshakePool
+	}
+	if cfg.AcceptRate < 0 {
+		return nil, fmt.Errorf("node: PS %d AcceptRate must be non-negative, got %v", cfg.ID, cfg.AcceptRate)
+	}
+	if cfg.AcceptBurst < 0 {
+		return nil, fmt.Errorf("node: PS %d AcceptBurst must be non-negative, got %d", cfg.ID, cfg.AcceptBurst)
+	}
+	if cfg.AcceptBurst > 0 && cfg.AcceptRate == 0 {
+		return nil, fmt.Errorf("node: PS %d AcceptBurst requires AcceptRate", cfg.ID)
+	}
+	if cfg.AcceptRate > 0 && cfg.AcceptBurst == 0 {
+		cfg.AcceptBurst = DefaultAcceptBurst
+	}
+	if cfg.RequireToken && len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("node: PS %d RequireToken needs a Key to derive tokens from", cfg.ID)
 	}
 	if cfg.ServerRule == nil {
 		cfg.ServerRule = aggregate.Mean{}
@@ -450,65 +538,75 @@ func (p *PS) Serve() error {
 		}
 	}()
 
-	// Accept phase: each client introduces itself with Hello{flag=id}
-	// carrying the shared initial model w_0 (a rejoining client sends
-	// its current model instead, seeding lastAgg for empty rounds). In
+	// Accept phase: each client introduces itself with Hello{flag=id},
+	// either carrying the shared initial model w_0 inline (legacy
+	// single-frame hello) or — with HelloSeedFlag set — as a second
+	// TypeHello seed frame behind a tiny first hello, so the prefilter's
+	// hello-phase body cap stays aggressive. A rejoining client sends
+	// its current model instead, seeding lastAgg for empty rounds.
+	//
+	// Handshakes run concurrently: acceptLoop sheds rate-limited and
+	// post-quota connections at Accept, prefilters the rest from peeked
+	// header bytes, and runs each surviving hello in its own goroutine
+	// under a short HelloDeadline — a connected-but-silent socket costs
+	// one bounded handshake slot, never a stall of the accept queue. In
 	// strict mode any malformed connection is fatal (the paper's
-	// synchronous model); in tolerant mode it is closed and absorbed —
-	// up to maxBadAccepts — so a port scanner or corrupt first frame
-	// cannot kill a healthy federation before round 0.
-	badAccepts := 0
-	for accepted := 0; accepted < p.cfg.Clients; accepted++ {
-		raw, err := p.ln.Accept()
-		if err != nil {
+	// synchronous model); in tolerant mode it is closed, counted, and
+	// absorbed — there is no lifetime budget that junk can exhaust.
+	results := make(chan acceptResult)
+	stop := make(chan struct{})
+	defer close(stop)
+	var quotaMet atomic.Bool
+	go p.acceptLoop(results, stop, &quotaMet)
+
+	seeds := make([][]float64, p.cfg.Clients)
+	for admitted := 0; admitted < p.cfg.Clients; {
+		r := <-results
+		if r.listenerErr != nil {
 			if p.isCrashed() {
 				return ErrCrashed
 			}
-			return fmt.Errorf("node: PS %d accept: %w", p.cfg.ID, err)
+			return fmt.Errorf("node: PS %d accept: %w", p.cfg.ID, r.listenerErr)
 		}
-		conn := transport.NewConn(raw)
-		conn.Timeout = p.cfg.Timeout
-		conn.SetKey(p.cfg.Key)
-		conn.SetMetrics(p.tm)
-		hello, err := conn.Recv()
-		if err != nil {
-			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d hello: %w", p.cfg.ID, err)); fatal != nil {
+		if r.err == nil && conns[r.id] != nil {
+			r.err = fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, r.id)
+		}
+		if r.err != nil {
+			if fatal := p.badAccept(r); fatal != nil {
 				return fatal
 			}
-			accepted--
-			continue
-		}
-		if hello.Type != transport.TypeHello {
-			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d expected hello, got %s", p.cfg.ID, hello.Type)); fatal != nil {
-				return fatal
-			}
-			accepted--
-			continue
-		}
-		id := int(hello.Flag)
-		if id < 0 || id >= p.cfg.Clients || conns[id] != nil {
-			if fatal := p.badAccept(conn, &badAccepts, fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)); fatal != nil {
-				return fatal
-			}
-			accepted--
 			continue
 		}
 		if p.cfg.Faults != nil {
-			conn.SetFaults(p.cfg.Faults.Link(fmt.Sprintf("ps%d->c%d", p.cfg.ID, id)))
+			r.conn.SetFaults(p.cfg.Faults.Link(fmt.Sprintf("ps%d->c%d", p.cfg.ID, r.id)))
 		}
-		p.v2ok[id] = hello.Text == transport.HelloCodecV2
-		conns[id] = conn
+		p.v2ok[r.id] = r.v2ok
+		conns[r.id] = r.conn
+		seeds[r.id] = r.seed
 		p.mu.Lock()
-		p.accepted = append(p.accepted, conn)
+		p.accepted = append(p.accepted, r.conn)
 		crashed := p.crashed
-		if p.lastAgg == nil && len(hello.Vec) > 0 {
-			p.lastAgg = append([]float64(nil), hello.Vec...)
-		}
 		p.mu.Unlock()
 		if crashed {
 			return ErrCrashed
 		}
+		admitted++
 	}
+	quotaMet.Store(true)
+	go p.drainAccepts(results, stop)
+	// Seed lastAgg (the empty-round fallback aggregate) from the lowest
+	// client id with a non-empty hello seed — a deterministic choice,
+	// where the old arrival-order seeding depended on dial timing.
+	p.mu.Lock()
+	if p.lastAgg == nil {
+		for _, s := range seeds {
+			if len(s) > 0 {
+				p.lastAgg = append([]float64(nil), s...)
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
 
 	for !p.sc.Done() {
 		round := p.sc.Round()
@@ -527,27 +625,205 @@ func (p *PS) Serve() error {
 	return nil
 }
 
-// badAccept handles a connection that failed the hello handshake.
-// Strict mode returns cause (fatal, the pre-fix behaviour); tolerant
-// mode closes the connection and absorbs it, turning fatal only when
-// maxBadAccepts malformed connections have piled up.
-func (p *PS) badAccept(conn *transport.Conn, badAccepts *int, cause error) error {
-	_ = conn.Close()
-	if !p.cfg.Tolerant {
-		return cause
+// acceptResult is one connection's handshake outcome, produced by a
+// handshake goroutine and consumed by Serve's admission loop.
+type acceptResult struct {
+	conn *transport.Conn
+	id   int
+	v2ok bool
+	// seed is the model the client introduced itself with (w_0, or a
+	// rejoining client's current params).
+	seed []float64
+	// prefiltered marks a rejection decided by the header prefilter
+	// alone; tokenReject marks a failed connect-token check. Both
+	// refine err for the stats split.
+	prefiltered bool
+	tokenReject bool
+	err         error
+	// listenerErr reports the listener itself failing (close/crash):
+	// the accept loop is over.
+	listenerErr error
+}
+
+// acceptLoop accepts connections until the listener closes, shedding
+// abusive sources at the cheapest possible point and handing the rest
+// to bounded concurrent handshakes. It owns all pre-admission policy:
+// per-source rate limiting (one Accept and a map lookup per shed
+// conn), post-quota shedding (once all K clients are admitted every
+// newcomer is junk by definition), and the handshake pool that bounds
+// how much memory unauthenticated peers can pin.
+func (p *PS) acceptLoop(results chan<- acceptResult, stop <-chan struct{}, quotaMet *atomic.Bool) {
+	var limiter *sourceLimiter
+	if p.cfg.AcceptRate > 0 {
+		limiter = newSourceLimiter(p.cfg.AcceptRate, p.cfg.AcceptBurst)
 	}
-	*badAccepts++
+	sem := make(chan struct{}, p.cfg.HandshakePool)
+	for {
+		raw, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case results <- acceptResult{listenerErr: err}:
+			case <-stop:
+			}
+			return
+		}
+		if quotaMet.Load() {
+			_ = raw.Close()
+			continue
+		}
+		if limiter != nil && !limiter.allow(remoteHost(raw), time.Now()) {
+			_ = raw.Close()
+			p.mu.Lock()
+			p.stats.RateLimited++
+			p.mu.Unlock()
+			p.om.rateLimited.Inc()
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-stop:
+			_ = raw.Close()
+			return
+		}
+		p.om.handshakePool.Set(int64(len(sem)))
+		go func() {
+			defer func() {
+				<-sem
+				p.om.handshakePool.Set(int64(len(sem)))
+			}()
+			r := p.handshake(raw)
+			select {
+			case results <- r:
+			case <-stop:
+				if r.conn != nil {
+					_ = r.conn.Close()
+				}
+			}
+		}()
+	}
+}
+
+// handshake runs one connection's hello under the hello deadline and
+// the hello-phase body cap. The prefilter rejects junk from peeked
+// header bytes before a single body byte is read or allocated; only a
+// frame it admits reaches Recv. An admitted connection leaves with the
+// protocol-maximum body cap and the steady-state timeout restored.
+func (p *PS) handshake(raw net.Conn) acceptResult {
+	conn := transport.NewConn(raw)
+	conn.Timeout = p.cfg.HelloDeadline
+	conn.SetKey(p.cfg.Key)
+	conn.SetMetrics(p.tm)
+	conn.SetMaxBodyLen(p.cfg.HelloMaxBody)
+	if err := conn.PrefilterHello(p.cfg.HelloMaxBody); err != nil {
+		return acceptResult{conn: conn, prefiltered: isPrefilterReject(err),
+			err: fmt.Errorf("node: PS %d hello prefilter: %w", p.cfg.ID, err)}
+	}
+	hello, err := conn.Recv()
+	if err != nil {
+		return acceptResult{conn: conn, err: fmt.Errorf("node: PS %d hello: %w", p.cfg.ID, err)}
+	}
+	if hello.Type != transport.TypeHello {
+		return acceptResult{conn: conn, err: fmt.Errorf("node: PS %d expected hello, got %s", p.cfg.ID, hello.Type)}
+	}
+	id := int(hello.Flag &^ uint32(transport.HelloSeedFlag))
+	if id < 0 || id >= p.cfg.Clients {
+		return acceptResult{conn: conn, err: fmt.Errorf("node: PS %d invalid client id %d", p.cfg.ID, id)}
+	}
+	info := transport.ParseHelloText(hello.Text)
+	if p.cfg.RequireToken && !transport.VerifyConnectToken(p.cfg.Key, p.cfg.Seed, id, info.Token) {
+		return acceptResult{conn: conn, id: id, tokenReject: true,
+			err: fmt.Errorf("node: PS %d client %d: connect token rejected", p.cfg.ID, id)}
+	}
+	seed := hello.Vec
+	if hello.Flag&uint32(transport.HelloSeedFlag) != 0 {
+		// Two-frame handshake: the tiny hello is in, so the peer has
+		// earned a full-size read for its model seed frame.
+		conn.SetMaxBodyLen(0)
+		m, err := conn.Recv()
+		if err != nil {
+			return acceptResult{conn: conn, err: fmt.Errorf("node: PS %d client %d hello seed: %w", p.cfg.ID, id, err)}
+		}
+		if m.Type != transport.TypeHello || int(m.Flag) != id {
+			return acceptResult{conn: conn, err: fmt.Errorf("node: PS %d client %d: malformed hello seed frame", p.cfg.ID, id)}
+		}
+		seed = m.Vec
+	}
+	conn.SetMaxBodyLen(0)
+	conn.Timeout = p.cfg.Timeout
+	return acceptResult{conn: conn, id: id, v2ok: info.CodecV2, seed: seed}
+}
+
+// isPrefilterReject reports whether a PrefilterHello error was a
+// protocol verdict from the header bytes (countable as a prefilter
+// drop) rather than an I/O failure. ErrOversizeFrame wraps ErrTooLarge
+// so the over-cap case is covered.
+func isPrefilterReject(err error) bool {
+	return errors.Is(err, transport.ErrBadMagic) ||
+		errors.Is(err, transport.ErrBadVersion) ||
+		errors.Is(err, transport.ErrNotHello) ||
+		errors.Is(err, transport.ErrTooLarge)
+}
+
+// badAccept handles a connection that failed the hello handshake.
+// Strict mode returns the cause (fatal — the paper's synchronous
+// model); tolerant mode closes the connection, counts it, and absorbs
+// it unconditionally. Abuse volume is bounded upstream by the
+// per-source rate limiter and the handshake pool, not by a lifetime
+// budget a rotating-source flood could exhaust.
+func (p *PS) badAccept(r acceptResult) error {
+	if r.conn != nil {
+		_ = r.conn.Close()
+	}
+	if !p.cfg.Tolerant {
+		return r.err
+	}
 	p.mu.Lock()
 	p.stats.BadAccepts++
+	if r.prefiltered {
+		p.stats.PrefilterDrops++
+	}
+	if r.tokenReject {
+		p.stats.TokenRejects++
+	}
+	count := p.stats.BadAccepts
 	p.mu.Unlock()
 	p.om.badAccepts.Inc()
-	if *badAccepts >= maxBadAccepts {
-		return fmt.Errorf("node: PS %d: %d malformed connections during accept (last: %w)", p.cfg.ID, *badAccepts, cause)
+	if r.prefiltered {
+		p.om.prefilterDrops.Inc()
+	}
+	if r.tokenReject {
+		p.om.tokenRejects.Inc()
 	}
 	if p.cfg.Logger != nil {
-		p.cfg.Logger.Warn("ps bad accept", "ps", p.cfg.ID, "count", *badAccepts, "err", cause)
+		p.cfg.Logger.Warn("ps bad accept", "ps", p.cfg.ID, "count", count, "err", r.err)
 	}
 	return nil
+}
+
+// drainAccepts consumes handshake results after the accept quota is
+// met so in-flight handshake slots recycle while rounds are served.
+// Everything arriving here is junk by definition — all K clients are
+// admitted — and is absorbed like any other bad accept, never fatally
+// (even in strict mode: the accept phase it polices is over).
+func (p *PS) drainAccepts(results <-chan acceptResult, stop <-chan struct{}) {
+	for {
+		select {
+		case r := <-results:
+			if r.listenerErr != nil {
+				return
+			}
+			if r.err == nil {
+				r.err = fmt.Errorf("node: PS %d: connection after accept quota", p.cfg.ID)
+			}
+			if p.cfg.Tolerant {
+				_ = p.badAccept(r)
+			} else if r.conn != nil {
+				_ = r.conn.Close()
+			}
+		case <-stop:
+			return
+		}
+	}
 }
 
 // upload is one client's contribution to a round barrier.

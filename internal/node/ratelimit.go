@@ -1,0 +1,103 @@
+package node
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// sourceLimiter is a per-source token-bucket accept rate limiter: each
+// remote host gets its own bucket of `burst` tokens refilled at `rate`
+// tokens/second, and a connection is admitted to the handshake stage
+// only if its source still holds a token. This replaces the old
+// lifetime maxBadAccepts counter, whose failure mode was exactly
+// backwards: a rotating-source junk flood (fresh host per connection)
+// eventually killed a healthy PS, while one aggressive source burned
+// the shared budget for everyone. Per-source buckets throttle the
+// abuser and nobody else — and never turn fatal.
+//
+// The limiter bounds *accept throughput*, not handshake correctness:
+// a rate-limited connection is closed before the prefilter ever runs,
+// so it costs one Accept and nothing else.
+type sourceLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// sourceLimiterMaxBuckets caps the per-source table so an attacker
+// rotating through spoofed-infeasible-but-many real source hosts
+// cannot grow it without bound; full (idle) buckets are evicted first.
+const sourceLimiterMaxBuckets = 4096
+
+func newSourceLimiter(rate float64, burst int) *sourceLimiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &sourceLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow consumes one token from source's bucket, reporting whether one
+// was available. now is injected for deterministic tests.
+func (l *sourceLimiter) allow(source string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[source]
+	if b == nil {
+		l.prune(now)
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[source] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune evicts replenished (idle) buckets once the table is full. A
+// full bucket carries no throttling state — recreating it fresh is
+// indistinguishable — so evicting them loses nothing. If every bucket
+// is mid-throttle the table stays put; sources being actively limited
+// are precisely the state worth keeping.
+func (l *sourceLimiter) prune(now time.Time) {
+	if len(l.buckets) < sourceLimiterMaxBuckets {
+		return
+	}
+	for src, b := range l.buckets {
+		tokens := b.tokens + now.Sub(b.last).Seconds()*l.rate
+		if tokens >= l.burst {
+			delete(l.buckets, src)
+		}
+	}
+}
+
+// remoteHost extracts the per-source rate-limit key from a connection:
+// the remote IP without the ephemeral port (one abuser, many ports,
+// one bucket).
+func remoteHost(c net.Conn) string {
+	addr := c.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}

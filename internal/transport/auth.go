@@ -53,11 +53,18 @@ func (c *Conn) sendBytes(buf []byte) error {
 // recvAuthenticated reads one frame plus its MAC, verifying the tag.
 func (c *Conn) recvAuthenticated() (*Message, error) {
 	// Tee the frame bytes so the tag can be computed over exactly what
-	// was parsed.
+	// was parsed. The capture honors the connection's body cap: an
+	// over-cap frame is chunk-discarded by the decoder and never
+	// verified, so there is no point (and real danger, pre-auth) in
+	// accumulating its bytes here.
 	var frame capture
-	m, err := Decode(io.TeeReader(c.br, &frame))
+	if c.maxBody > 0 {
+		frame.limit = headerLenV2 + c.maxBody
+	}
+	m, err := decodeFrame(io.TeeReader(c.br, &frame), &c.hdr, c.maxBody)
 	if err != nil {
-		if errors.Is(err, ErrBadChecksum) || errors.Is(err, ErrBadPayload) {
+		if errors.Is(err, ErrBadChecksum) || errors.Is(err, ErrBadPayload) ||
+			errors.Is(err, ErrOversizeFrame) {
 			// The frame body was fully consumed; discard its trailing
 			// tag too so the stream stays frame-aligned and a tolerant
 			// reader can skip the corrupt frame and keep going.
@@ -75,10 +82,19 @@ func (c *Conn) recvAuthenticated() (*Message, error) {
 	return m, nil
 }
 
-// capture accumulates written bytes.
-type capture struct{ buf []byte }
+// capture accumulates written bytes, up to an optional limit (0 =
+// unlimited) past which writes are counted but dropped — frames that
+// large are rejected before their tag is ever verified.
+type capture struct {
+	buf   []byte
+	limit int
+}
 
 func (c *capture) Write(p []byte) (int, error) {
-	c.buf = append(c.buf, p...)
+	keep := p
+	if c.limit > 0 && len(c.buf)+len(keep) > c.limit {
+		keep = keep[:max(0, c.limit-len(c.buf))]
+	}
+	c.buf = append(c.buf, keep...)
 	return len(p), nil
 }

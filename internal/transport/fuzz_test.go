@@ -72,8 +72,36 @@ func FuzzDecode(f *testing.F) {
 	binary.LittleEndian.PutUint32(v2Over[21:], uint32(MaxPayloadLen+1))
 	f.Add(v2Over)
 
+	// Forged-length headers: claims at the protocol maxima (legal per
+	// header, astronomically larger than the body that follows), claims
+	// straddling the fuzz cap below by one byte in each direction, and a
+	// max-claim truncated right after the header. The decoder must hit
+	// its bounded-allocation path on all of them — the allocation gate
+	// itself is TestDecodeOversizeClaimBounded; under fuzz these inputs
+	// drive the discard/reject paths through arbitrary mutations.
+	maxClaimV1 := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(maxClaimV1[20:], uint32(MaxVecLen))
+	f.Add(maxClaimV1)
+	f.Add(maxClaimV1[:headerLen])
+	maxClaimV2 := append([]byte(nil), baseV2...)
+	binary.LittleEndian.PutUint32(maxClaimV2[22:], uint32(MaxPayloadLen))
+	f.Add(maxClaimV2)
+	f.Add(maxClaimV2[:headerLenV2])
+	const fuzzCap = 1 << 20
+	capEdge := append([]byte(nil), baseV2...)
+	binary.LittleEndian.PutUint32(capEdge[18:], 0)
+	binary.LittleEndian.PutUint32(capEdge[22:], uint32(fuzzCap-4)) // body == cap
+	f.Add(capEdge)
+	capOver := append([]byte(nil), baseV2...)
+	binary.LittleEndian.PutUint32(capOver[22:], uint32(fuzzCap-3)) // body == cap+1
+	f.Add(capOver)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Decode(bytes.NewReader(data))
+		// The cap mirrors a real receiver: every Conn decodes through a
+		// body bound (the hello-phase cap pre-admission, the protocol
+		// maxima after). Fuzzing the bounded path keeps a forged 512 MB
+		// length claim from being materialized on every mutation.
+		m, err := DecodeBounded(bytes.NewReader(data), fuzzCap)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-gate tests skip under -race: the race runtime's shadow
+// allocations make testing.AllocsPerRun and TotalAlloc deltas
+// meaningless, so `make verify` pins those gates in a dedicated
+// no-race stage instead.
+const raceEnabled = false

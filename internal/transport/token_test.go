@@ -1,0 +1,50 @@
+package transport
+
+import "testing"
+
+func TestConnectTokenVerify(t *testing.T) {
+	key := []byte("shared-secret")
+	tok := ConnectToken(key, 42, 7)
+	if tok != ConnectToken(key, 42, 7) {
+		t.Fatal("token minting is not deterministic")
+	}
+	if len(tok) != 2*connectTokenBytes {
+		t.Fatalf("token length %d, want %d hex chars", len(tok), 2*connectTokenBytes)
+	}
+	if !VerifyConnectToken(key, 42, 7, tok) {
+		t.Fatal("freshly minted token rejected")
+	}
+	for name, bad := range map[string]bool{
+		"wrong client": VerifyConnectToken(key, 42, 8, tok),
+		"wrong seed":   VerifyConnectToken(key, 43, 7, tok),
+		"wrong key":    VerifyConnectToken([]byte("other"), 42, 7, tok),
+		"empty token":  VerifyConnectToken(key, 42, 7, ""),
+	} {
+		if bad {
+			t.Fatalf("%s verified", name)
+		}
+	}
+}
+
+func TestHelloInfoRoundTrip(t *testing.T) {
+	cases := []HelloInfo{
+		{},
+		{CodecV2: true},
+		{Token: "deadbeef"},
+		{CodecV2: true, Token: "deadbeef"},
+	}
+	for _, h := range cases {
+		if got := ParseHelloText(h.Text()); got != h {
+			t.Fatalf("round trip %+v -> %q -> %+v", h, h.Text(), got)
+		}
+	}
+	// Legacy compatibility both ways: a bare codec advertisement (the
+	// pre-token hello Text) parses, and unknown fields are ignored.
+	if !ParseHelloText(HelloCodecV2).CodecV2 {
+		t.Fatal("legacy codec-only hello text not recognised")
+	}
+	h := ParseHelloText("future-field,enc:v2,tok:abc")
+	if !h.CodecV2 || h.Token != "abc" {
+		t.Fatalf("unknown field broke parsing: %+v", h)
+	}
+}

@@ -147,7 +147,18 @@ var (
 	// full frame has been consumed when it is returned, so the stream
 	// stays frame-aligned and tolerant readers can skip and continue.
 	ErrBadPayload = errors.New("transport: bad codec payload")
+	// ErrNotHello reports a pre-admission frame whose type is not
+	// TypeHello (see Conn.PrefilterHello): an unauthenticated peer must
+	// introduce itself before anything else.
+	ErrNotHello = errors.New("transport: first frame is not a hello")
 )
+
+// ErrOversizeFrame reports a frame whose claimed body length exceeded
+// the receiver's per-connection cap (see Conn.SetMaxBodyLen). The full
+// frame has been consumed — chunk-read through the checksum, never
+// materialized — so the stream stays frame-aligned and tolerant
+// readers can skip it. Wraps ErrTooLarge.
+var ErrOversizeFrame = fmt.Errorf("%w: body exceeds receiver cap", ErrTooLarge)
 
 const headerLen = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4
 
@@ -294,12 +305,35 @@ func growBytes(b []byte, n int) []byte {
 var encodeBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 // Decode reads one frame from r, accepting both v1 dense frames and v2
-// codec frames.
+// codec frames. The body allocation is bounded only by the protocol
+// maxima (MaxTextLen, MaxPayloadLen); receivers of unauthenticated
+// traffic should use DecodeBounded with a small cap instead.
 func Decode(r io.Reader) (*Message, error) {
+	var hdr [headerLenV2]byte
+	return decodeFrame(r, &hdr, 0)
+}
+
+// DecodeBounded reads one frame like Decode but additionally caps the
+// body bytes (text + model + checksum) it will materialize at maxBody
+// (0 = protocol maxima only). A frame claiming more is consumed in
+// fixed-size chunks through the checksum — never allocated — and
+// rejected with ErrOversizeFrame (or ErrBadChecksum when the claimed
+// lengths were themselves forged), leaving the stream frame-aligned.
+// This is the pre-authentication ingest contract: a forged length
+// field costs the receiver at most maxBody bytes, not MaxPayloadLen.
+func DecodeBounded(r io.Reader, maxBody int) (*Message, error) {
+	var hdr [headerLenV2]byte
+	return decodeFrame(r, &hdr, maxBody)
+}
+
+// decodeFrame is the shared decoder core. hdr is caller-supplied
+// header scratch so connection hot paths reuse one buffer per conn
+// instead of allocating per frame.
+func decodeFrame(r io.Reader, hdr *[headerLenV2]byte, maxBody int) (*Message, error) {
 	// The two versions have different header lengths, so read the common
 	// prefix (magic, version, type) before the rest of the header.
 	const prefixLen = 4
-	header := make([]byte, headerLenV2)
+	header := hdr[:]
 	if _, err := io.ReadFull(r, header[:prefixLen]); err != nil {
 		return nil, err
 	}
@@ -332,6 +366,9 @@ func Decode(r io.Reader) (*Message, error) {
 		if textLen > MaxTextLen || modelBytes > MaxPayloadLen {
 			return nil, ErrTooLarge
 		}
+	}
+	if maxBody > 0 && textLen+modelBytes+4 > maxBody {
+		return nil, discardBody(r, header, textLen+modelBytes)
 	}
 	body := make([]byte, textLen+modelBytes+4)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -378,13 +415,46 @@ func Decode(r io.Reader) (*Message, error) {
 	return m, nil
 }
 
+// discardBody consumes an over-cap frame body (payloadLen bytes plus
+// the 4-byte checksum) in fixed chunks, verifying the CRC as it goes,
+// so the claim is rejected without ever being materialized and the
+// stream stays frame-aligned for the next Recv. The chunk lives on the
+// caller's stack frame; the largest allocation a forged length can
+// force is the chunk size, independent of the claim.
+func discardBody(r io.Reader, header []byte, payloadLen int) error {
+	crc := crc32.ChecksumIEEE(header[2:])
+	var chunk [1024]byte
+	for remain := payloadLen; remain > 0; {
+		n := remain
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, chunk[:n])
+		remain -= n
+	}
+	if _, err := io.ReadFull(r, chunk[:4]); err != nil {
+		return err
+	}
+	if crc != binary.LittleEndian.Uint32(chunk[:4]) {
+		// The lengths themselves were forged: the frame was junk, not an
+		// honest peer exceeding its budget.
+		return ErrBadChecksum
+	}
+	return ErrOversizeFrame
+}
+
 // Conn wraps a net.Conn with buffered, mutex-protected, deadline-aware
 // frame I/O. Send and Recv are each safe for concurrent use.
 type Conn struct {
 	conn    net.Conn
 	br      *bufio.Reader
-	key     []byte   // optional shared secret for per-frame HMAC (see SetKey)
-	metrics *Metrics // optional wire counters (see SetMetrics)
+	key     []byte            // optional shared secret for per-frame HMAC (see SetKey)
+	metrics *Metrics          // optional wire counters (see SetMetrics)
+	maxBody int               // per-frame body cap for Recv (see SetMaxBodyLen)
+	hdr     [headerLenV2]byte // per-conn header scratch (one alloc/frame saved)
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
@@ -445,7 +515,7 @@ func (c *Conn) Recv() (*Message, error) {
 	if c.key != nil {
 		m, err = c.recvAuthenticated()
 	} else {
-		m, err = Decode(c.br)
+		m, err = decodeFrame(c.br, &c.hdr, c.maxBody)
 	}
 	if c.metrics != nil {
 		n := 0
@@ -459,6 +529,15 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	return m, err
 }
+
+// SetMaxBodyLen caps the body bytes (text + model + checksum) a single
+// Recv on this connection will materialize. Frames claiming more are
+// consumed to rejection without being allocated (see DecodeBounded).
+// Zero restores the protocol-wide maxima — the budget of an admitted,
+// authenticated peer. Servers set a small cap (HelloMaxBodyLen) on
+// not-yet-admitted connections so a forged length field costs nothing.
+// Must not be called concurrently with Recv.
+func (c *Conn) SetMaxBodyLen(n int) { c.maxBody = n }
 
 // SetRecvDeadline overrides the read deadline of an in-flight (or the
 // next) Recv. net.Conn guarantees a deadline update interrupts a
